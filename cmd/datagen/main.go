@@ -1,0 +1,65 @@
+// Command datagen materializes the synthetic datasets used throughout the
+// repository as ordinary files, so they can be inspected or fed to the
+// scanraw CLI.
+//
+// Usage:
+//
+//	datagen -kind csv -rows 65536 -cols 64 -out data.csv
+//	datagen -kind sam -reads 100000 -out alignments.sam
+//	datagen -kind bam -reads 100000 -out alignments.bam
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scanraw/internal/gen"
+	"scanraw/internal/sam"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "csv", "dataset kind: csv, sam, or bam")
+		rows  = flag.Int("rows", 1<<16, "csv: number of rows")
+		cols  = flag.Int("cols", 64, "csv: number of columns")
+		reads = flag.Int("reads", 100000, "sam/bam: number of alignment reads")
+		seed  = flag.Uint64("seed", 1, "pseudo-random seed")
+		delim = flag.String("delim", ",", "csv: field delimiter")
+		out   = flag.String("out", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+
+	var data []byte
+	var err error
+	switch *kind {
+	case "csv":
+		if len(*delim) != 1 {
+			fmt.Fprintln(os.Stderr, "datagen: -delim must be a single byte")
+			os.Exit(2)
+		}
+		data = gen.Bytes(gen.CSVSpec{
+			Rows: *rows, Cols: *cols, Seed: *seed, Delim: (*delim)[0],
+		})
+	case "sam":
+		data = sam.SAMBytes(sam.Spec{Reads: *reads, Seed: *seed})
+	case "bam":
+		data, err = sam.BAMBytes(sam.Spec{Reads: *reads, Seed: *seed}, 4096)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+}

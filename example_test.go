@@ -1,0 +1,55 @@
+package scanraw_test
+
+import (
+	"fmt"
+
+	"scanraw"
+)
+
+// The canonical workflow: stage raw bytes, query instantly, and let
+// speculative loading migrate data into the database as queries run.
+func Example() {
+	db := scanraw.Open(scanraw.Options{})
+	raw := []byte("1,north,250\n2,south,175\n3,north,310\n4,west,90\n")
+	if err := db.Stage("sales", "id:int, region:string, amount:int", scanraw.CSV, raw); err != nil {
+		panic(err)
+	}
+	res, _, err := db.Exec("SELECT region, SUM(amount) AS revenue FROM sales GROUP BY region ORDER BY revenue DESC")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(res)
+	// Output:
+	// region  revenue
+	// north   560
+	// south   175
+	// west    90
+}
+
+// Aggregates over a filtered scan.
+func ExampleDB_Exec() {
+	db := scanraw.Open(scanraw.Options{})
+	raw := []byte("10\n20\n30\n40\n")
+	if err := db.Stage("nums", "n:int", scanraw.CSV, raw); err != nil {
+		panic(err)
+	}
+	res, _, err := db.Exec("SELECT COUNT(*) AS big, SUM(n) AS total FROM nums WHERE n >= 20")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(res)
+	// Output:
+	// big  total
+	// 3    90
+}
+
+// ParseSchema turns a compact spec into a relation schema.
+func ExampleParseSchema() {
+	sch, err := scanraw.ParseSchema("ts:int, name:string, score:float")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sch)
+	// Output:
+	// (ts BIGINT, name VARCHAR, score DOUBLE)
+}

@@ -1,0 +1,153 @@
+// Genomics: the paper's motivating workload (§1). Variant identification
+// requires the distribution of the CIGAR field across reads whose sequence
+// exhibits a certain pattern — a group-by aggregate with a pattern
+// predicate that geneticists normally answer by writing a program against
+// SAMtools/BAMTools.
+//
+// This example runs that query three ways over a synthetic alignment file:
+//
+//  1. in-situ over SAM text through the parallel SCANRAW pipeline,
+//  2. over the same file again, now served from cache and database thanks
+//     to speculative loading, and
+//  3. over the BAM binary through a deliberately sequential BAMTools-style
+//     block reader — the configuration the paper found 7x slower despite
+//     the 5x smaller file, because decompression serializes.
+//
+// Run with: go run ./examples/genomics
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/engine"
+	"scanraw/internal/sam"
+	intscan "scanraw/internal/scanraw"
+	"scanraw/internal/vdisk"
+)
+
+const cigarQuery = "SELECT cigar, COUNT(*) AS reads FROM alignments " +
+	"WHERE seq LIKE '%ACGTAC%' GROUP BY cigar"
+
+func main() {
+	spec := sam.Spec{Reads: 100000, Seed: 2024}
+	disk := vdisk.New(vdisk.Config{ReadBandwidth: 300 << 20, WriteBandwidth: 300 << 20})
+
+	samSize := sam.PreloadSAM(disk, "raw/alignments.sam", spec)
+	bamSize, err := sam.PreloadBAM(disk, "raw/alignments.bam", spec, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SAM %0.1f MB, BAM %0.1f MB (%.1fx smaller)\n\n",
+		float64(samSize)/(1<<20), float64(bamSize)/(1<<20), float64(samSize)/float64(bamSize))
+
+	store := dbstore.NewStore(disk)
+	table, err := store.CreateTable("alignments", sam.Schema(), "raw/alignments.sam")
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := intscan.New(store, table, intscan.Config{
+		Workers:     8,
+		ChunkLines:  8192,
+		Policy:      intscan.Speculative,
+		Safeguard:   true,
+		CacheChunks: 4,
+		Delim:       '\t',
+	})
+	q, err := engine.ParseSQL(cigarQuery, sam.Schema())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1) In-situ over SAM text.
+	res, st, err := intscan.ExecuteQuery(op, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("— SAM via SCANRAW (first query, %v; loaded %d chunks during run) —\n%s\n",
+		st.Duration.Round(time.Millisecond), st.WrittenDuringRun, res)
+	op.WaitIdle()
+
+	// 2) Same query again: cache + database, no re-parsing.
+	res2, st2, err := intscan.ExecuteQuery(op, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("— SAM via SCANRAW (second query, %v; %d cache / %d db / %d raw chunks) —\nsame %d CIGAR groups\n\n",
+		st2.Duration.Round(time.Millisecond), st2.DeliveredCache, st2.DeliveredDB,
+		st2.DeliveredRaw, len(res2.Rows))
+
+	// 3) BAM through the sequential access library.
+	start := time.Now()
+	ex, err := engine.NewExecutor(q, sam.Schema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	br, err := sam.NewBAMReader(disk, "raw/alignments.bam")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id := 0; ; id++ {
+		reads, err := br.NextBlock()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		bc, err := sam.ReadsToChunk(id, reads, q.RequiredColumns())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ex.Consume(bc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res3, err := ex.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("— BAM via sequential BAMTools-style reader (%v) —\nsame %d CIGAR groups\n\n",
+		time.Since(start).Round(time.Millisecond), len(res3.Rows))
+
+	// 4) BAM again, but with a block index and parallel decoding — the
+	// extension that removes the sequential bottleneck.
+	start = time.Now()
+	ex2, err := engine.NewExecutor(q, sam.Schema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bidx, err := sam.BuildBAMIndex(disk, "raw/alignments.bam")
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = sam.DecodeParallel(disk, "raw/alignments.bam", bidx, 8, nil,
+		func(id int, reads []sam.Read) error {
+			bc, err := sam.ReadsToChunk(id, reads, q.RequiredColumns())
+			if err != nil {
+				return err
+			}
+			return ex2.Consume(bc)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res4, err := ex2.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("— BAM via indexed parallel decoder, 8 workers (%v) —\nsame %d CIGAR groups\n",
+		time.Since(start).Round(time.Millisecond), len(res4.Rows))
+	fmt.Println("   (decoding here is real CPU work, so the parallel win is bounded by")
+	fmt.Println("    this machine's cores; `cmd/experiments table1` shows the effect")
+	fmt.Println("    under the calibrated machine model)")
+
+	if res.String() != res3.String() || res.String() != res4.String() {
+		log.Fatal("methods disagree on the CIGAR distribution")
+	}
+	fmt.Println("\nall methods agree on the distribution ✓")
+}

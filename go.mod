@@ -1,0 +1,3 @@
+module scanraw
+
+go 1.22

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Experiment identifies one reproducible paper artifact.
+type Experiment string
+
+// The experiment identifiers, matching the paper's figure/table numbers.
+const (
+	ExpFig4   Experiment = "fig4"
+	ExpFig5   Experiment = "fig5"
+	ExpFig6   Experiment = "fig6"
+	ExpFig7   Experiment = "fig7"
+	ExpFig8   Experiment = "fig8"
+	ExpFig9   Experiment = "fig9"
+	ExpTable1 Experiment = "table1"
+	// ExpAblations runs the design-choice ablation studies (not a paper
+	// artifact; listed by DESIGN.md §5).
+	ExpAblations Experiment = "ablations"
+)
+
+// AllExperiments lists every paper experiment in paper order (ablations
+// run only when requested explicitly).
+var AllExperiments = []Experiment{
+	ExpFig4, ExpFig5, ExpFig6, ExpFig7, ExpFig8, ExpFig9, ExpTable1,
+}
+
+// Run executes one experiment at the given scale and writes its rendered
+// tables to w.
+func Run(exp Experiment, sc Scale, w io.Writer) error {
+	var tables []*Table
+	switch exp {
+	case ExpFig4:
+		r, err := RunFig4(sc, nil)
+		if err != nil {
+			return err
+		}
+		tables = r.Tables()
+	case ExpFig5:
+		r, err := RunFig5(sc, nil)
+		if err != nil {
+			return err
+		}
+		tables = r.Tables()
+	case ExpFig6:
+		r, err := RunFig6(sc)
+		if err != nil {
+			return err
+		}
+		tables = r.Tables()
+	case ExpFig7:
+		r, err := RunFig7(sc)
+		if err != nil {
+			return err
+		}
+		tables = r.Tables()
+	case ExpFig8:
+		r, err := RunFig8(sc, 6)
+		if err != nil {
+			return err
+		}
+		tables = r.Tables()
+	case ExpFig9:
+		r, err := RunFig9(sc, 25*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		tables = r.Tables()
+	case ExpTable1:
+		r, err := RunTable1(sc)
+		if err != nil {
+			return err
+		}
+		tables = r.Tables()
+	case ExpAblations:
+		return RunAblations(sc, w)
+	default:
+		return fmt.Errorf("bench: unknown experiment %q", exp)
+	}
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/engine"
+	"scanraw/internal/sam"
+	"scanraw/internal/scanraw"
+	"scanraw/internal/vdisk"
+)
+
+// Table1Row is one method's measurement on the genomics workload.
+type Table1Row struct {
+	Method string
+	Time   time.Duration
+	Groups int // result rows, for cross-method validation
+}
+
+// Table1Result is the paper's Table 1.
+type Table1Result struct {
+	Rows     []Table1Row
+	SAMBytes int64
+	BAMBytes int64
+}
+
+// table1SQL is the paper's motivating query: the distribution of the
+// CIGAR field across reads exhibiting a certain pattern — a group-by
+// aggregate with a pattern-matching predicate.
+const table1SQL = "SELECT cigar, COUNT(*) AS reads FROM alignments WHERE seq LIKE '%ACGTAC%' GROUP BY cigar"
+
+// RunTable1 reproduces Table 1 (SCANRAW performance on SAM/BAM data):
+//
+//   - External tables (SAM): parallel SCANRAW over the SAM text
+//   - External tables (BAM + BAMTools): the sequential block reader
+//     decompresses and decodes; SCANRAW performs only MAP
+//   - Data loading (SAM): full query-driven loading plus processing
+//   - Database processing: the same query over the loaded table
+//   - Speculative loading (SAM): the paper's policy
+//
+// Every method must produce the identical CIGAR distribution; the result
+// is validated across methods. Each method is measured Reps times and the
+// average reported.
+func RunTable1(sc Scale) (*Table1Result, error) {
+	sc = sc.withDefaults()
+	diskCfg := CalibrateDisk(sc, 6)
+	spec := sam.Spec{Reads: sc.SAMReads, Seed: 3}
+	sch := sam.Schema()
+
+	q, err := engine.ParseSQL(table1SQL, sch)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table1Result{}
+	var wantDist string
+
+	record := func(method string, t time.Duration, r *engine.Result) error {
+		dist := r.String()
+		if wantDist == "" {
+			wantDist = dist
+		} else if dist != wantDist {
+			return fmt.Errorf("bench: %s produced a different CIGAR distribution", method)
+		}
+		res.Rows = append(res.Rows, Table1Row{Method: method, Time: t, Groups: len(r.Rows)})
+		return nil
+	}
+
+	runSAMOnce := func(policy scanraw.WritePolicy) (*scanraw.Operator, *dbstore.Table, time.Duration, *engine.Result, error) {
+		d := vdisk.New(diskCfg)
+		sam.PreloadSAM(d, "raw/alignments.sam", spec)
+		sz, _ := d.Size("raw/alignments.sam")
+		res.SAMBytes = sz
+		store := dbstore.NewStore(d)
+		table, err := store.CreateTable("alignments", sch, "raw/alignments.sam")
+		if err != nil {
+			return nil, nil, 0, nil, err
+		}
+		op := scanraw.New(store, table, scanraw.Config{
+			CPUSlowdown: sc.slowdown(),
+			Workers:     8,
+			ChunkLines:  sc.SAMReads / 16,
+			Policy:      policy,
+			CacheChunks: 4,
+			Delim:       '\t',
+		})
+		r, st, err := scanraw.ExecuteQuery(op, q)
+		if err != nil {
+			return nil, nil, 0, nil, err
+		}
+		return op, table, st.Duration, r, nil
+	}
+
+	// External tables over SAM text.
+	var lastRes *engine.Result
+	avg, err := sc.repeat(func() (time.Duration, error) {
+		_, _, d, r, err := runSAMOnce(scanraw.ExternalTables)
+		lastRes = r
+		return d, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := record("External tables (SAM)", avg, lastRes); err != nil {
+		return nil, err
+	}
+
+	// External tables over BAM through the sequential BAMTools-style
+	// reader: decompression and record decoding are sequential; SCANRAW
+	// contributes only the MAP stage and the engine. The decode path must
+	// run in the same simulated-CPU units as the pipeline, so its
+	// measured CPU time is stretched by the same slowdown factor, paying
+	// the debt in coarse sleeps like the worker slots do.
+	bamOnce := func() (time.Duration, error) {
+		d := vdisk.New(diskCfg)
+		if _, err := sam.PreloadBAM(d, "raw/alignments.bam", spec, 2048); err != nil {
+			return 0, err
+		}
+		sz, _ := d.Size("raw/alignments.bam")
+		res.BAMBytes = sz
+		ex, err := engine.NewExecutor(q, sch)
+		if err != nil {
+			return 0, err
+		}
+		cols := q.RequiredColumns()
+		start := time.Now()
+		br, err := sam.NewBAMReader(d, "raw/alignments.bam")
+		if err != nil {
+			return 0, err
+		}
+		var cpuDebt time.Duration
+		stretch := time.Duration(sc.slowdown() - 1)
+		id := 0
+		for {
+			reads, err := br.NextBlock()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return 0, err
+			}
+			mapStart := time.Now()
+			bc, err := sam.ReadsToChunk(id, reads, cols)
+			if err != nil {
+				return 0, err
+			}
+			if err := ex.Consume(bc); err != nil {
+				return 0, err
+			}
+			cpuDebt += (br.LastBlockCPU() + time.Since(mapStart)) * stretch
+			if cpuDebt >= 2*time.Millisecond {
+				s := time.Now()
+				time.Sleep(cpuDebt)
+				cpuDebt -= time.Since(s)
+			}
+			id++
+		}
+		r, err := ex.Result()
+		if err != nil {
+			return 0, err
+		}
+		lastRes = r
+		return time.Since(start), nil
+	}
+	if avg, err = sc.repeat(bamOnce); err != nil {
+		return nil, err
+	}
+	if err := record("External tables (BAM + BAMTools)", avg, lastRes); err != nil {
+		return nil, err
+	}
+
+	// Data loading (SAM) and database processing share one operator per
+	// repetition: the ETL query loads the table, then the same query runs
+	// again as a pure database scan.
+	var loadTotal, dbTotal time.Duration
+	var loadRes, dbRes *engine.Result
+	for rep := 0; rep < sc.Reps; rep++ {
+		op, table, d, r, err := runSAMOnce(scanraw.FullLoad)
+		if err != nil {
+			return nil, err
+		}
+		if got := table.CountLoaded(q.RequiredColumns()); got != table.NumChunks() {
+			return nil, fmt.Errorf("bench: ETL run loaded %d/%d chunks", got, table.NumChunks())
+		}
+		loadTotal += d
+		loadRes = r
+		op.Cache().Clear() // measure pure database processing, not cache hits
+		r2, st2, err := scanraw.ExecuteQuery(op, q)
+		if err != nil {
+			return nil, err
+		}
+		dbTotal += st2.Duration
+		dbRes = r2
+	}
+	if err := record("Data loading (SAM)", loadTotal/time.Duration(sc.Reps), loadRes); err != nil {
+		return nil, err
+	}
+	if err := record("Database processing", dbTotal/time.Duration(sc.Reps), dbRes); err != nil {
+		return nil, err
+	}
+
+	// Speculative loading (SAM).
+	if avg, err = sc.repeat(func() (time.Duration, error) {
+		_, _, d, r, err := runSAMOnce(scanraw.Speculative)
+		lastRes = r
+		return d, err
+	}); err != nil {
+		return nil, err
+	}
+	if err := record("Speculative loading (SAM)", avg, lastRes); err != nil {
+		return nil, err
+	}
+
+	// Extension (not in the paper's table): parallel BAM decoding with a
+	// block index — what the paper's "we parallelized MAP without any
+	// performance gains" discussion was missing, because the sequential
+	// library hid the block boundaries. Workers pace their measured
+	// decode CPU by the same slowdown factor as the pipeline.
+	if avg, err = sc.repeat(func() (time.Duration, error) {
+		d := vdisk.New(diskCfg)
+		if _, err := sam.PreloadBAM(d, "raw/alignments.bam", spec, 2048); err != nil {
+			return 0, err
+		}
+		ex, err := engine.NewExecutor(q, sch)
+		if err != nil {
+			return 0, err
+		}
+		cols := q.RequiredColumns()
+		stretch := time.Duration(sc.slowdown() - 1)
+		start := time.Now()
+		idx, err := sam.BuildBAMIndex(d, "raw/alignments.bam")
+		if err != nil {
+			return 0, err
+		}
+		err = sam.DecodeParallel(d, "raw/alignments.bam", idx, 8,
+			func(cpu time.Duration) {
+				if stretch > 0 {
+					time.Sleep(cpu * stretch)
+				}
+			},
+			func(id int, reads []sam.Read) error {
+				bc, err := sam.ReadsToChunk(id, reads, cols)
+				if err != nil {
+					return err
+				}
+				return ex.Consume(bc)
+			})
+		if err != nil {
+			return 0, err
+		}
+		r, err := ex.Result()
+		if err != nil {
+			return 0, err
+		}
+		lastRes = r
+		return time.Since(start), nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := record("BAM + parallel decode [extension]", avg, lastRes); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Tables renders Table 1.
+func (r *Table1Result) Tables() []*Table {
+	t := &Table{
+		Title:  "Table 1: SCANRAW performance on SAM/BAM data",
+		Header: []string{"method", "time (ms)", "CIGAR groups"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Method, ms(row.Time), fmtInt(row.Groups)})
+	}
+	t.Notes = []string{
+		fmt.Sprintf("SAM %d bytes, BAM %d bytes (%.1fx smaller)",
+			r.SAMBytes, r.BAMBytes, float64(r.SAMBytes)/float64(max64(r.BAMBytes, 1))),
+		"expected shape: database processing fastest; BAM+sequential-decoder slowest despite",
+		"the smaller file; speculative ~= external tables",
+	}
+	return []*Table{t}
+}
+
+func max64(x, y int64) int64 {
+	if x > y {
+		return x
+	}
+	return y
+}

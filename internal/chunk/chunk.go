@@ -1,0 +1,231 @@
+// Package chunk defines the three data representations that flow through
+// the SCANRAW pipeline (paper §3.1):
+//
+//   - TextChunk: a horizontal portion of the raw file — a sequence of
+//     complete lines. Chunks are the unit of reading, scheduling and
+//     processing.
+//   - PositionalMap: the output of TOKENIZE — for every tuple in a text
+//     chunk, the start/end offsets of each attribute.
+//   - BinaryChunk: the output of PARSE/MAP — tuples vertically partitioned
+//     along columns represented as arrays in memory. This is both the
+//     execution engine's processing representation and the format in which
+//     data are stored inside the database; not all columns of a table have
+//     to be present in a binary chunk.
+package chunk
+
+import (
+	"fmt"
+
+	"scanraw/internal/schema"
+)
+
+// TextChunk is a raw-file fragment holding whole lines.
+type TextChunk struct {
+	// ID is the chunk ordinal within the raw file (0-based).
+	ID int
+	// Data holds the raw bytes. Every line is terminated by '\n' except
+	// possibly the last.
+	Data []byte
+	// Lines is the number of lines (tuples) in Data.
+	Lines int
+}
+
+// MemSize returns the approximate memory footprint in bytes, used for
+// buffer sizing.
+func (c *TextChunk) MemSize() int { return len(c.Data) + 24 }
+
+// PositionalMap records, for each tuple of a text chunk, where each
+// tokenized attribute begins and ends inside the chunk's Data. With
+// selective tokenizing only a prefix of the attributes may be tokenized
+// (NumCols < the schema's column count); PARSE can resume the scan from
+// the last recorded position (paper §2, "partial map").
+type PositionalMap struct {
+	// NumRows is the number of tuples covered.
+	NumRows int
+	// NumCols is how many leading attributes were tokenized per tuple.
+	NumCols int
+	// Starts and Ends are flattened [NumRows][NumCols] offset arrays into
+	// the owning TextChunk's Data: attribute (r,c) is
+	// Data[Starts[r*NumCols+c]:Ends[r*NumCols+c]].
+	Starts []int32
+	Ends   []int32
+	// LineEnd[r] is the offset just past tuple r's last byte (excluding
+	// the newline), so a partial map can be extended by scanning forward.
+	LineEnd []int32
+}
+
+// Field returns the [start,end) offsets of attribute c of row r.
+// It panics when the indices are out of range, matching slice semantics.
+func (m *PositionalMap) Field(r, c int) (int32, int32) {
+	if c >= m.NumCols {
+		panic(fmt.Sprintf("chunk: field %d not tokenized (map has %d cols)", c, m.NumCols))
+	}
+	i := r*m.NumCols + c
+	return m.Starts[i], m.Ends[i]
+}
+
+// MemSize returns the approximate memory footprint in bytes.
+func (m *PositionalMap) MemSize() int {
+	return 8*len(m.Starts) + 4*len(m.LineEnd) + 32
+}
+
+// Vector is a typed column of values. Exactly one of the payload slices is
+// populated, matching Type.
+type Vector struct {
+	Type   schema.Type
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
+
+// NewVector allocates a vector of n zero values of type t.
+func NewVector(t schema.Type, n int) *Vector {
+	v := &Vector{Type: t}
+	switch t {
+	case schema.Int64:
+		v.Ints = make([]int64, n)
+	case schema.Float64:
+		v.Floats = make([]float64, n)
+	case schema.Str:
+		v.Strs = make([]string, n)
+	default:
+		panic(fmt.Sprintf("chunk: invalid vector type %v", t))
+	}
+	return v
+}
+
+// Len returns the number of values in the vector.
+func (v *Vector) Len() int {
+	switch v.Type {
+	case schema.Int64:
+		return len(v.Ints)
+	case schema.Float64:
+		return len(v.Floats)
+	default:
+		return len(v.Strs)
+	}
+}
+
+// MemSize returns the approximate memory footprint in bytes.
+func (v *Vector) MemSize() int {
+	switch v.Type {
+	case schema.Int64:
+		return 8 * len(v.Ints)
+	case schema.Float64:
+		return 8 * len(v.Floats)
+	default:
+		n := 16 * len(v.Strs)
+		for _, s := range v.Strs {
+			n += len(s)
+		}
+		return n
+	}
+}
+
+// BinaryChunk is the columnar processing representation of one chunk.
+type BinaryChunk struct {
+	// ID is the chunk ordinal within the raw file.
+	ID int
+	// Rows is the tuple count.
+	Rows int
+
+	sch  *schema.Schema
+	cols []*Vector // indexed by schema ordinal; nil = column absent
+}
+
+// NewBinary creates an empty binary chunk (no columns present yet) for the
+// given schema.
+func NewBinary(sch *schema.Schema, id, rows int) *BinaryChunk {
+	return &BinaryChunk{ID: id, Rows: rows, sch: sch, cols: make([]*Vector, sch.NumColumns())}
+}
+
+// Schema returns the table schema the chunk belongs to.
+func (b *BinaryChunk) Schema() *schema.Schema { return b.sch }
+
+// SetColumn installs vector v as column ordinal i. The vector's type and
+// length must match the schema and row count.
+func (b *BinaryChunk) SetColumn(i int, v *Vector) error {
+	if i < 0 || i >= len(b.cols) {
+		return fmt.Errorf("chunk: column %d out of range [0,%d)", i, len(b.cols))
+	}
+	if v.Type != b.sch.Column(i).Type {
+		return fmt.Errorf("chunk: column %d type %v does not match schema type %v",
+			i, v.Type, b.sch.Column(i).Type)
+	}
+	if v.Len() != b.Rows {
+		return fmt.Errorf("chunk: column %d has %d values, chunk has %d rows", i, v.Len(), b.Rows)
+	}
+	b.cols[i] = v
+	return nil
+}
+
+// Column returns the vector for column ordinal i, or nil when the column is
+// not present in this chunk.
+func (b *BinaryChunk) Column(i int) *Vector {
+	if i < 0 || i >= len(b.cols) {
+		return nil
+	}
+	return b.cols[i]
+}
+
+// Has reports whether column ordinal i is present.
+func (b *BinaryChunk) Has(i int) bool { return b.Column(i) != nil }
+
+// HasAll reports whether every listed column ordinal is present.
+func (b *BinaryChunk) HasAll(idxs []int) bool {
+	for _, i := range idxs {
+		if !b.Has(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Present returns the ordinals of the columns present in the chunk, in
+// schema order.
+func (b *BinaryChunk) Present() []int {
+	var out []int
+	for i, v := range b.cols {
+		if v != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MemSize returns the approximate memory footprint in bytes, used for
+// cache accounting.
+func (b *BinaryChunk) MemSize() int {
+	n := 64
+	for _, v := range b.cols {
+		if v != nil {
+			n += v.MemSize()
+		}
+	}
+	return n
+}
+
+// Clone returns a shallow copy of the chunk: a new column table pointing
+// at the same (immutable) vectors. Cloning lets a cache merge columns
+// copy-on-write so concurrent readers of the old chunk are never affected.
+func (b *BinaryChunk) Clone() *BinaryChunk {
+	nb := NewBinary(b.sch, b.ID, b.Rows)
+	copy(nb.cols, b.cols)
+	return nb
+}
+
+// Merge copies the columns present in o but absent here into b. Both chunks
+// must describe the same chunk ID, row count, and schema. It is used when a
+// chunk is partially cached and the missing columns arrive from the raw
+// file or the database.
+func (b *BinaryChunk) Merge(o *BinaryChunk) error {
+	if o.ID != b.ID || o.Rows != b.Rows || !o.sch.Equal(b.sch) {
+		return fmt.Errorf("chunk: cannot merge chunk %d(%d rows) into %d(%d rows)", o.ID, o.Rows, b.ID, b.Rows)
+	}
+	for i, v := range o.cols {
+		if v != nil && b.cols[i] == nil {
+			b.cols[i] = v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package dbstore
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"scanraw/internal/schema"
+)
+
+// Catalog persistence. The paper's WRITE thread "updates the catalog
+// metadata accordingly" after every load; persisting the catalog lets a
+// store be reopened with its loaded-chunk bookkeeping and statistics
+// intact, so a restarted SCANRAW instance resumes partial loading instead
+// of starting over.
+
+const catalogBlob = "db/_catalog"
+
+type catalogJSON struct {
+	Tables []tableJSON `json:"tables"`
+}
+
+type tableJSON struct {
+	Name     string       `json:"name"`
+	RawFile  string       `json:"raw_file"`
+	Columns  []columnJSON `json:"columns"`
+	Complete bool         `json:"complete"`
+	Chunks   []*ChunkMeta `json:"chunks"`
+}
+
+type columnJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// SaveCatalog serializes the catalog to the disk. The write is throttled
+// like any other database write; catalogs are small so the cost is
+// negligible.
+func (s *Store) SaveCatalog() error {
+	s.mu.RLock()
+	cat := catalogJSON{}
+	for _, t := range s.tables {
+		t.mu.RLock()
+		tj := tableJSON{
+			Name:     t.name,
+			RawFile:  t.rawFile,
+			Complete: t.complete,
+		}
+		for _, c := range t.schema.Columns() {
+			tj.Columns = append(tj.Columns, columnJSON{Name: c.Name, Type: c.Type.String()})
+		}
+		for _, m := range t.chunks {
+			if m == nil {
+				tj.Chunks = append(tj.Chunks, nil)
+				continue
+			}
+			tj.Chunks = append(tj.Chunks, m.clone())
+		}
+		t.mu.RUnlock()
+		cat.Tables = append(cat.Tables, tj)
+	}
+	s.mu.RUnlock()
+
+	p, err := json.Marshal(cat)
+	if err != nil {
+		return fmt.Errorf("dbstore: marshaling catalog: %w", err)
+	}
+	return s.disk.WriteBlob(catalogBlob, p)
+}
+
+// LoadCatalog rebuilds the catalog from the disk, replacing the in-memory
+// table map. Page blobs are untouched; only metadata is read.
+func (s *Store) LoadCatalog() error {
+	p, err := s.disk.ReadBlob(catalogBlob)
+	if err != nil {
+		return fmt.Errorf("dbstore: reading catalog: %w", err)
+	}
+	var cat catalogJSON
+	if err := json.Unmarshal(p, &cat); err != nil {
+		return fmt.Errorf("dbstore: parsing catalog: %w", err)
+	}
+	tables := make(map[string]*Table, len(cat.Tables))
+	for _, tj := range cat.Tables {
+		cols := make([]schema.Column, 0, len(tj.Columns))
+		for _, cj := range tj.Columns {
+			ty, err := schema.ParseType(cj.Type)
+			if err != nil {
+				return fmt.Errorf("dbstore: catalog table %q: %w", tj.Name, err)
+			}
+			cols = append(cols, schema.Column{Name: cj.Name, Type: ty})
+		}
+		sch, err := schema.New(cols...)
+		if err != nil {
+			return fmt.Errorf("dbstore: catalog table %q: %w", tj.Name, err)
+		}
+		t := &Table{name: tj.Name, schema: sch, rawFile: tj.RawFile, complete: tj.Complete}
+		ncol := sch.NumColumns()
+		for _, m := range tj.Chunks {
+			if m != nil && (len(m.Stats) != ncol || len(m.Loaded) != ncol) {
+				return fmt.Errorf("dbstore: catalog chunk %d of %q has inconsistent column counts", m.ID, tj.Name)
+			}
+			t.chunks = append(t.chunks, m)
+		}
+		tables[tj.Name] = t
+	}
+	s.mu.Lock()
+	s.tables = tables
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,433 @@
+// Package dbstore implements the database side of SCANRAW: the catalog, the
+// column-oriented chunk storage on the (simulated) disk, per-chunk metadata
+// with min/max statistics, loaded-chunk bookkeeping, and the heap-scan read
+// path that serves chunks already converted to the binary representation.
+//
+// Storage layout follows the paper (§3.1): "In binary format, tuples are
+// vertically partitioned along columns represented as arrays in memory.
+// When written to disk, each column is assigned an independent set of pages
+// which can be directly mapped into the in-memory array representation."
+// Here every (table, chunk, column) triple maps to one page blob on the
+// disk, so partial loading — some columns of some chunks — needs no tuple
+// rewriting, mirroring the column-store schema-expansion argument of §2.
+package dbstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/schema"
+	"scanraw/internal/vdisk"
+)
+
+// ChunkMeta is the catalog record for one chunk of one table. The fields
+// are the statistics SCANRAW collects during conversion: where the chunk
+// starts in the raw file, how many tuples it holds, per-column min/max, and
+// which columns have been loaded into the database.
+type ChunkMeta struct {
+	ID     int
+	Rows   int
+	RawOff int64 // byte offset of the chunk in the raw file
+	RawLen int64 // byte length of the chunk in the raw file
+
+	Stats  []ColStats // indexed by schema ordinal
+	Loaded []bool     // indexed by schema ordinal
+}
+
+// clone returns a deep copy so callers can inspect metadata without racing
+// against catalog updates.
+func (m *ChunkMeta) clone() *ChunkMeta {
+	c := *m
+	c.Stats = append([]ColStats(nil), m.Stats...)
+	c.Loaded = append([]bool(nil), m.Loaded...)
+	return &c
+}
+
+// LoadedAll reports whether every listed column ordinal is loaded.
+func (m *ChunkMeta) LoadedAll(cols []int) bool {
+	for _, c := range cols {
+		if c < 0 || c >= len(m.Loaded) || !m.Loaded[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadedAny reports whether at least one column is loaded.
+func (m *ChunkMeta) LoadedAny() bool {
+	for _, l := range m.Loaded {
+		if l {
+			return true
+		}
+	}
+	return false
+}
+
+// Table is a catalog entry linking a relation schema to a raw file and the
+// chunk metadata discovered while processing it.
+type Table struct {
+	name    string
+	schema  *schema.Schema
+	rawFile string
+
+	mu       sync.RWMutex
+	chunks   []*ChunkMeta
+	complete bool // true once the raw file has been fully scanned once
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *schema.Schema { return t.schema }
+
+// RawFile returns the disk blob name of the backing raw file.
+func (t *Table) RawFile() string { return t.rawFile }
+
+// EnsureChunk records the discovery of chunk id (its tuple count and raw
+// file extent) and returns whether the chunk was new. Re-registering an
+// existing chunk with identical geometry is a no-op; conflicting geometry
+// is an error (it would mean the raw file changed underneath us).
+func (t *Table) EnsureChunk(id, rows int, rawOff, rawLen int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.chunks) <= id {
+		t.chunks = append(t.chunks, nil)
+	}
+	if m := t.chunks[id]; m != nil {
+		if m.Rows != rows || m.RawOff != rawOff || m.RawLen != rawLen {
+			return fmt.Errorf("dbstore: chunk %d re-registered with different geometry (%d rows @%d+%d vs %d rows @%d+%d)",
+				id, rows, rawOff, rawLen, m.Rows, m.RawOff, m.RawLen)
+		}
+		return nil
+	}
+	n := t.schema.NumColumns()
+	t.chunks[id] = &ChunkMeta{
+		ID: id, Rows: rows, RawOff: rawOff, RawLen: rawLen,
+		Stats:  make([]ColStats, n),
+		Loaded: make([]bool, n),
+	}
+	return nil
+}
+
+// SetComplete marks that the raw file has been scanned end to end, so the
+// catalog now knows every chunk boundary.
+func (t *Table) SetComplete() {
+	t.mu.Lock()
+	t.complete = true
+	t.mu.Unlock()
+}
+
+// Complete reports whether all chunk boundaries are known.
+func (t *Table) Complete() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.complete
+}
+
+// NumChunks returns the number of registered chunks.
+func (t *Table) NumChunks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.chunks)
+}
+
+// Chunk returns a copy of the metadata for chunk id.
+func (t *Table) Chunk(id int) (*ChunkMeta, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || id >= len(t.chunks) || t.chunks[id] == nil {
+		return nil, false
+	}
+	return t.chunks[id].clone(), true
+}
+
+// SetStats records conversion-time statistics for one column of one chunk.
+func (t *Table) SetStats(id, col int, s ColStats) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= len(t.chunks) || t.chunks[id] == nil {
+		return fmt.Errorf("dbstore: SetStats on unknown chunk %d", id)
+	}
+	if col < 0 || col >= len(t.chunks[id].Stats) {
+		return fmt.Errorf("dbstore: SetStats column %d out of range", col)
+	}
+	t.chunks[id].Stats[col] = s
+	return nil
+}
+
+// markLoaded flags columns of a chunk as stored in the database.
+func (t *Table) markLoaded(id int, cols []int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= len(t.chunks) || t.chunks[id] == nil {
+		return fmt.Errorf("dbstore: markLoaded on unknown chunk %d", id)
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(t.chunks[id].Loaded) {
+			return fmt.Errorf("dbstore: markLoaded column %d out of range", c)
+		}
+		t.chunks[id].Loaded[c] = true
+	}
+	return nil
+}
+
+// EstimateRangeRows estimates how many tuples have column col in [lo, hi],
+// summing per-chunk uniform interpolations over the catalog statistics
+// (§3.3: "the second use case for statistics is cardinality estimation for
+// traditional query optimization"). Chunks without statistics contribute
+// their full row count when known, so the estimate degrades conservatively
+// toward "everything matches". The second result is the total row count
+// covered by the catalog.
+func (t *Table) EstimateRangeRows(col int, lo, hi int64) (estimate float64, totalRows int64, err error) {
+	if col < 0 || col >= t.schema.NumColumns() {
+		return 0, 0, fmt.Errorf("dbstore: column %d out of range", col)
+	}
+	if lo > hi {
+		return 0, 0, nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, m := range t.chunks {
+		if m == nil {
+			continue
+		}
+		totalRows += int64(m.Rows)
+		s := m.Stats[col]
+		if !s.Valid {
+			estimate += float64(m.Rows)
+			continue
+		}
+		// Stats may cover fewer rows than the chunk (older partial
+		// conversions); scale the overlap up to the chunk size.
+		ov := s.estimateOverlap(lo, hi)
+		if s.Rows > 0 && int64(m.Rows) != s.Rows {
+			ov *= float64(m.Rows) / float64(s.Rows)
+		}
+		estimate += ov
+	}
+	return estimate, totalRows, nil
+}
+
+// EstimateDistinct returns the estimated number of distinct values of a
+// column per chunk summed across chunks — an upper bound on the table-wide
+// distinct count (per-chunk sketches cannot be unioned exactly once stored
+// as scalars).
+func (t *Table) EstimateDistinct(col int) (int64, error) {
+	if col < 0 || col >= t.schema.NumColumns() {
+		return 0, fmt.Errorf("dbstore: column %d out of range", col)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var total int64
+	for _, m := range t.chunks {
+		if m == nil {
+			continue
+		}
+		total += m.Stats[col].Distinct
+	}
+	return total, nil
+}
+
+// LoadedChunks returns the IDs of chunks whose listed columns are all
+// loaded.
+func (t *Table) LoadedChunks(cols []int) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []int
+	for _, m := range t.chunks {
+		if m != nil && m.LoadedAll(cols) {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// CountLoaded returns how many chunks have all listed columns loaded.
+func (t *Table) CountLoaded(cols []int) int { return len(t.LoadedChunks(cols)) }
+
+// FullyLoaded reports whether the discovery is complete and every chunk has
+// every column loaded — the condition under which a SCANRAW instance is
+// deleted and the table becomes a plain database table (paper §3.3).
+func (t *Table) FullyLoaded() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if !t.complete || len(t.chunks) == 0 {
+		return false
+	}
+	for _, m := range t.chunks {
+		if m == nil {
+			return false
+		}
+		for _, l := range m.Loaded {
+			if !l {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Store is the database storage manager: catalog plus column pages on a
+// disk.
+type Store struct {
+	disk *vdisk.Disk
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore creates an empty store on the given disk.
+func NewStore(d *vdisk.Disk) *Store {
+	return &Store{disk: d, tables: make(map[string]*Table)}
+}
+
+// Disk returns the underlying disk.
+func (s *Store) Disk() *vdisk.Disk { return s.disk }
+
+// CreateTable registers a table linking sch to the raw file blob rawFile.
+func (s *Store) CreateTable(name string, sch *schema.Schema, rawFile string) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dbstore: empty table name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return nil, fmt.Errorf("dbstore: table %q already exists", name)
+	}
+	t := &Table{name: name, schema: sch, rawFile: rawFile}
+	s.tables[name] = t
+	return t, nil
+}
+
+// Table looks a table up by name.
+func (s *Store) Table(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// DropTable removes a table and deletes its pages from disk.
+func (s *Store) DropTable(name string) {
+	s.mu.Lock()
+	t := s.tables[name]
+	delete(s.tables, name)
+	s.mu.Unlock()
+	if t == nil {
+		return
+	}
+	for _, blob := range s.disk.List(pagePrefix(name)) {
+		s.disk.Delete(blob)
+	}
+}
+
+func pagePrefix(table string) string { return fmt.Sprintf("db/%s/", table) }
+
+func pageName(table string, chunkID, col int) string {
+	return fmt.Sprintf("db/%s/%08d/%04d", table, chunkID, col)
+}
+
+// Pages carry a CRC32-C checksum so silent corruption on the storage
+// device is detected at read time instead of surfacing as wrong query
+// answers.
+
+// sealPage prefixes the payload with its checksum.
+func sealPage(payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(out, crc32.Checksum(payload, castagnoli))
+	copy(out[4:], payload)
+	return out
+}
+
+// openPage verifies and strips the checksum.
+func openPage(p []byte) ([]byte, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("dbstore: page too short for checksum (%d bytes)", len(p))
+	}
+	want := binary.LittleEndian.Uint32(p)
+	payload := p[4:]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("dbstore: page checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return payload, nil
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteChunkColumns stores the listed columns of binary chunk bc as pages
+// and marks them loaded in the catalog. The chunk must already be
+// registered via EnsureChunk. This is the WRITE stage's storage operation;
+// the disk's write throttle models its I/O cost.
+func (s *Store) WriteChunkColumns(t *Table, bc *chunk.BinaryChunk, cols []int) error {
+	if meta, ok := t.Chunk(bc.ID); !ok {
+		return fmt.Errorf("dbstore: chunk %d not registered in table %q", bc.ID, t.Name())
+	} else if meta.Rows != bc.Rows {
+		return fmt.Errorf("dbstore: chunk %d has %d rows, catalog says %d", bc.ID, bc.Rows, meta.Rows)
+	}
+	for _, c := range cols {
+		v := bc.Column(c)
+		if v == nil {
+			return fmt.Errorf("dbstore: chunk %d column %d not present in binary chunk", bc.ID, c)
+		}
+		if err := s.disk.WriteBlob(pageName(t.Name(), bc.ID, c), sealPage(chunk.EncodeVector(v))); err != nil {
+			return fmt.Errorf("dbstore: writing chunk %d column %d: %w", bc.ID, c, err)
+		}
+	}
+	return t.markLoaded(bc.ID, cols)
+}
+
+// WriteChunk stores every present column of bc.
+func (s *Store) WriteChunk(t *Table, bc *chunk.BinaryChunk) error {
+	return s.WriteChunkColumns(t, bc, bc.Present())
+}
+
+// ReadChunk reads the listed columns of chunk id from the database into a
+// binary chunk. Every requested column must be loaded.
+func (s *Store) ReadChunk(t *Table, id int, cols []int) (*chunk.BinaryChunk, error) {
+	meta, ok := t.Chunk(id)
+	if !ok {
+		return nil, fmt.Errorf("dbstore: chunk %d not registered in table %q", id, t.Name())
+	}
+	if !meta.LoadedAll(cols) {
+		return nil, fmt.Errorf("dbstore: chunk %d does not have all of columns %v loaded", id, cols)
+	}
+	bc := chunk.NewBinary(t.Schema(), id, meta.Rows)
+	for _, c := range cols {
+		p, err := s.disk.ReadBlob(pageName(t.Name(), id, c))
+		if err != nil {
+			return nil, fmt.Errorf("dbstore: reading chunk %d column %d: %w", id, c, err)
+		}
+		payload, err := openPage(p)
+		if err != nil {
+			return nil, fmt.Errorf("dbstore: chunk %d column %d: %w", id, c, err)
+		}
+		v, err := chunk.DecodeVector(payload)
+		if err != nil {
+			return nil, fmt.Errorf("dbstore: decoding chunk %d column %d: %w", id, c, err)
+		}
+		if err := bc.SetColumn(c, v); err != nil {
+			return nil, err
+		}
+	}
+	return bc, nil
+}
+
+// Scan is the heap-scan operator: it iterates the loaded chunks of a table
+// in chunk order, reading the listed columns and invoking fn on each. It is
+// the operator SCANRAW "morphs into" once all data are loaded (paper §3.3).
+func (s *Store) Scan(t *Table, cols []int, fn func(*chunk.BinaryChunk) error) error {
+	for _, id := range t.LoadedChunks(cols) {
+		bc, err := s.ReadChunk(t, id, cols)
+		if err != nil {
+			return err
+		}
+		if err := fn(bc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package dbstore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/schema"
+)
+
+func TestCollectStatsInt(t *testing.T) {
+	v := chunk.NewVector(schema.Int64, 4)
+	v.Ints = []int64{5, -3, 8, 0}
+	s := CollectStats(v)
+	if !s.Valid || s.MinInt != -3 || s.MaxInt != 8 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCollectStatsFloat(t *testing.T) {
+	v := chunk.NewVector(schema.Float64, 3)
+	v.Floats = []float64{1.5, -0.5, 0}
+	s := CollectStats(v)
+	if !s.Valid || s.MinFloat != -0.5 || s.MaxFloat != 1.5 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCollectStatsStr(t *testing.T) {
+	v := chunk.NewVector(schema.Str, 3)
+	v.Strs = []string{"m", "a", "z"}
+	s := CollectStats(v)
+	if !s.Valid || s.MinStr != "a" || s.MaxStr != "z" {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCollectStatsEmpty(t *testing.T) {
+	v := chunk.NewVector(schema.Int64, 0)
+	if s := CollectStats(v); s.Valid {
+		t.Error("empty vector should yield invalid stats")
+	}
+}
+
+func TestMayContainInt(t *testing.T) {
+	v := chunk.NewVector(schema.Int64, 2)
+	v.Ints = []int64{10, 20}
+	s := CollectStats(v)
+	cases := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{0, 5, false},
+		{0, 10, true},
+		{15, 17, true},
+		{20, 30, true},
+		{21, 30, false},
+		{0, 100, true},
+	}
+	for _, c := range cases {
+		if got := s.MayContainInt(c.lo, c.hi); got != c.want {
+			t.Errorf("MayContainInt(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+	// Invalid stats are conservative.
+	if !(ColStats{}).MayContainInt(0, 0) {
+		t.Error("invalid stats must conservatively return true")
+	}
+	// Wrong type is conservative.
+	f := chunk.NewVector(schema.Float64, 1)
+	if !CollectStats(f).MayContainInt(99, 100) {
+		t.Error("wrong-typed stats must conservatively return true")
+	}
+}
+
+func TestMayContainFloat(t *testing.T) {
+	v := chunk.NewVector(schema.Float64, 2)
+	v.Floats = []float64{1.0, 2.0}
+	s := CollectStats(v)
+	if s.MayContainFloat(2.1, 3) {
+		t.Error("range above max should be excluded")
+	}
+	if !s.MayContainFloat(0, 1) {
+		t.Error("range touching min should match")
+	}
+	if !(ColStats{}).MayContainFloat(0, 0) {
+		t.Error("invalid stats must conservatively return true")
+	}
+}
+
+// Property: every value in the vector is within [Min, Max], and
+// MayContainInt never excludes a range containing an actual value.
+func TestStatsSoundnessProperty(t *testing.T) {
+	f := func(vals []int64, lo, hi int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		v := &chunk.Vector{Type: schema.Int64, Ints: vals}
+		s := CollectStats(v)
+		for _, x := range vals {
+			if x < s.MinInt || x > s.MaxInt {
+				return false
+			}
+			if x >= lo && x <= hi && !s.MayContainInt(lo, hi) {
+				return false // unsound exclusion
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"testing"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/schema"
+)
+
+func benchChunk(b *testing.B, rows, cols int) *chunk.BinaryChunk {
+	b.Helper()
+	sch, err := schema.Uniform(cols, schema.Int64, "c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bc := chunk.NewBinary(sch, 0, rows)
+	for c := 0; c < cols; c++ {
+		v := chunk.NewVector(schema.Int64, rows)
+		for r := range v.Ints {
+			v.Ints[r] = int64(r*cols + c)
+		}
+		if err := bc.SetColumn(c, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bc
+}
+
+// BenchmarkScalarSum measures the paper's benchmark query shape:
+// SELECT SUM(c0+...+c63) over one chunk.
+func BenchmarkScalarSum(b *testing.B) {
+	bc := benchChunk(b, 2048, 64)
+	cols := make([]int, 64)
+	for i := range cols {
+		cols[i] = i
+	}
+	q, err := SumAllColumns(bc.Schema(), "t", cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := NewExecutor(q, bc.Schema())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ex.Consume(bc); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ex.Result(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupBy measures hash aggregation with a modest group count.
+func BenchmarkGroupBy(b *testing.B) {
+	bc := benchChunk(b, 2048, 2)
+	// Make c0 a 32-valued grouping key.
+	for r := range bc.Column(0).Ints {
+		bc.Column(0).Ints[r] = int64(r % 32)
+	}
+	q, err := ParseSQL("SELECT c0, COUNT(*), SUM(c1) FROM t GROUP BY c0", bc.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := NewExecutor(q, bc.Schema())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ex.Consume(bc); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ex.Result(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFilteredCount measures predicate evaluation plus COUNT.
+func BenchmarkFilteredCount(b *testing.B) {
+	bc := benchChunk(b, 2048, 4)
+	q, err := ParseSQL("SELECT COUNT(*) FROM t WHERE c0 > 1000 AND c1 < 100000", bc.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := NewExecutor(q, bc.Schema())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ex.Consume(bc); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ex.Result(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseSQL measures query compilation.
+func BenchmarkParseSQL(b *testing.B) {
+	sch, err := schema.Uniform(8, schema.Int64, "c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const sql = "SELECT c0, SUM(c1+c2) AS s FROM t WHERE c3 > 10 AND c4 < 99 GROUP BY c0 ORDER BY s DESC LIMIT 5"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSQL(sql, sch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,613 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/schema"
+)
+
+// Value is a scalar query result cell.
+type Value struct {
+	Typ   schema.Type
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// IntValue builds an Int64 Value.
+func IntValue(x int64) Value { return Value{Typ: schema.Int64, Int: x} }
+
+// FloatValue builds a Float64 Value.
+func FloatValue(x float64) Value { return Value{Typ: schema.Float64, Float: x} }
+
+// StrValue builds a Str Value.
+func StrValue(s string) Value { return Value{Typ: schema.Str, Str: s} }
+
+// String renders the value for result printing.
+func (v Value) String() string {
+	switch v.Typ {
+	case schema.Int64:
+		return fmt.Sprintf("%d", v.Int)
+	case schema.Float64:
+		return fmt.Sprintf("%g", v.Float)
+	default:
+		return v.Str
+	}
+}
+
+// AggFunc enumerates the aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions. AggNone marks a plain (grouping) expression.
+const (
+	AggNone AggFunc = iota
+	AggSum
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"", "SUM", "COUNT", "MIN", "MAX", "AVG"}[f]
+}
+
+// SelectItem is one output column of a query: an expression, optionally
+// wrapped in an aggregate. A COUNT(*) has Agg=AggCount and Expr=nil.
+type SelectItem struct {
+	Agg   AggFunc
+	Expr  Expr // nil only for COUNT(*)
+	Alias string
+}
+
+// Name returns the output column name.
+func (it SelectItem) Name() string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if it.Agg != AggNone {
+		inner := "*"
+		if it.Expr != nil {
+			inner = it.Expr.String()
+		}
+		return fmt.Sprintf("%s(%s)", it.Agg, inner)
+	}
+	return it.Expr.String()
+}
+
+// Query is a bound query plan over one raw file / table.
+type Query struct {
+	Items   []SelectItem
+	From    string
+	Where   Expr // nil = no predicate; must be boolean (Int64 0/1)
+	GroupBy []Expr
+	Having  []HavingClause // post-aggregation filters over the select list
+	OrderBy []OrderItem    // sort keys over the select list
+	Limit   int            // <= 0 means no limit
+}
+
+// IsAggregate reports whether any select item aggregates.
+func (q *Query) IsAggregate() bool {
+	for _, it := range q.Items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return len(q.GroupBy) > 0
+}
+
+// RequiredColumns returns the sorted schema ordinals the query touches —
+// the set SCANRAW must tokenize and parse (selective conversion).
+func (q *Query) RequiredColumns() []int {
+	exprs := make([]Expr, 0, len(q.Items)+len(q.GroupBy)+1)
+	for _, it := range q.Items {
+		if it.Expr != nil {
+			exprs = append(exprs, it.Expr)
+		}
+	}
+	exprs = append(exprs, q.GroupBy...)
+	if q.Where != nil {
+		exprs = append(exprs, q.Where)
+	}
+	return DedupColumns(exprs...)
+}
+
+// Validate checks the query's structural rules.
+func (q *Query) Validate() error {
+	if len(q.Items) == 0 {
+		return fmt.Errorf("engine: query selects nothing")
+	}
+	if q.Where != nil && q.Where.Type() != schema.Int64 {
+		return fmt.Errorf("engine: WHERE must be boolean")
+	}
+	for _, k := range q.OrderBy {
+		if k.Column < 0 || k.Column >= len(q.Items) {
+			return fmt.Errorf("engine: ORDER BY column %d out of select-list range", k.Column)
+		}
+	}
+	for _, h := range q.Having {
+		if h.Column < 0 || h.Column >= len(q.Items) {
+			return fmt.Errorf("engine: HAVING column %d out of select-list range", h.Column)
+		}
+		if !q.IsAggregate() {
+			return fmt.Errorf("engine: HAVING requires aggregation")
+		}
+	}
+	if q.IsAggregate() {
+		grouped := map[string]bool{}
+		for _, g := range q.GroupBy {
+			grouped[g.String()] = true
+		}
+		for _, it := range q.Items {
+			if it.Agg == AggNone && !grouped[it.Expr.String()] {
+				return fmt.Errorf("engine: %s is neither aggregated nor in GROUP BY", it.Expr)
+			}
+			if it.Agg != AggNone && it.Expr == nil && it.Agg != AggCount {
+				return fmt.Errorf("engine: %s(*) is only valid for COUNT", it.Agg)
+			}
+			if it.Agg == AggSum || it.Agg == AggAvg {
+				if it.Expr != nil && it.Expr.Type() == schema.Str {
+					return fmt.Errorf("engine: %s over string expression", it.Agg)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Result is a materialized query result.
+type Result struct {
+	Cols []string
+	Rows [][]Value
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			cells[ri][ci] = v.String()
+			if len(cells[ri][ci]) > widths[ci] {
+				widths[ci] = len(cells[ri][ci])
+			}
+		}
+	}
+	writeLine := func(cells []string) {
+		var line strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			fmt.Fprintf(&line, "%-*s", widths[i], c)
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeLine(r.Cols)
+	for _, row := range cells {
+		writeLine(row)
+	}
+	return b.String()
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count    int64
+	sumInt   int64
+	sumFloat float64
+	minI     int64
+	maxI     int64
+	minF     float64
+	maxF     float64
+	minS     string
+	maxS     string
+	seen     bool
+}
+
+type group struct {
+	keys []Value
+	aggs []aggState
+}
+
+// Executor consumes binary chunks and produces a Result. It implements
+// both scalar/grouped aggregation and plain filtering/projection.
+type Executor struct {
+	q      *Query
+	sch    *schema.Schema
+	groups map[string]*group // aggregate path
+	rows   [][]Value         // non-aggregate path
+	done   bool
+}
+
+// NewExecutor validates q and builds an executor.
+func NewExecutor(q *Query, sch *schema.Schema) (*Executor, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &Executor{q: q, sch: sch, groups: make(map[string]*group)}, nil
+}
+
+// Consume folds one chunk into the running result.
+func (e *Executor) Consume(bc *chunk.BinaryChunk) error {
+	if e.done {
+		return fmt.Errorf("engine: Consume after Result")
+	}
+	sel, err := e.selection(bc)
+	if err != nil {
+		return err
+	}
+	if e.q.IsAggregate() {
+		return e.consumeAgg(bc, sel)
+	}
+	return e.consumeRows(bc, sel)
+}
+
+// selection evaluates WHERE and returns the qualifying row ordinals (nil
+// means all rows qualify).
+func (e *Executor) selection(bc *chunk.BinaryChunk) ([]int, error) {
+	if e.q.Where == nil {
+		return nil, nil
+	}
+	v, err := e.q.Where.Eval(bc)
+	if err != nil {
+		return nil, err
+	}
+	sel := make([]int, 0, bc.Rows)
+	for i, x := range v.Ints {
+		if x != 0 {
+			sel = append(sel, i)
+		}
+	}
+	return sel, nil
+}
+
+func valueAt(v *chunk.Vector, i int) Value {
+	switch v.Type {
+	case schema.Int64:
+		return IntValue(v.Ints[i])
+	case schema.Float64:
+		return FloatValue(v.Floats[i])
+	default:
+		return StrValue(v.Strs[i])
+	}
+}
+
+func (e *Executor) consumeAgg(bc *chunk.BinaryChunk, sel []int) error {
+	if sel != nil && len(sel) == 0 {
+		return nil
+	}
+	// Evaluate group-by keys and aggregate inputs once per chunk.
+	keyVecs := make([]*chunk.Vector, len(e.q.GroupBy))
+	for i, g := range e.q.GroupBy {
+		v, err := g.Eval(bc)
+		if err != nil {
+			return err
+		}
+		keyVecs[i] = v
+	}
+	aggVecs := make([]*chunk.Vector, len(e.q.Items))
+	for i, it := range e.q.Items {
+		if it.Expr != nil {
+			v, err := it.Expr.Eval(bc)
+			if err != nil {
+				return err
+			}
+			aggVecs[i] = v
+		}
+	}
+	if len(keyVecs) == 0 {
+		// Scalar aggregation: one group, bulk loops over the vectors.
+		// This is the hot path for the paper's SUM benchmark query; it
+		// must stay cheap enough that SCANRAW, not the engine, is the
+		// measured component.
+		g, ok := e.groups[""]
+		if !ok {
+			g = &group{aggs: make([]aggState, len(e.q.Items))}
+			e.groups[""] = g
+		}
+		for i, it := range e.q.Items {
+			if it.Agg == AggNone {
+				continue
+			}
+			updateAggBulk(&g.aggs[i], aggVecs[i], bc.Rows, sel)
+		}
+		return nil
+	}
+	// Grouped aggregation: build compact keys with strconv (no fmt, no
+	// per-row allocation beyond new groups).
+	var kb []byte
+	rowCount := bc.Rows
+	if sel != nil {
+		rowCount = len(sel)
+	}
+	for ri := 0; ri < rowCount; ri++ {
+		r := ri
+		if sel != nil {
+			r = sel[ri]
+		}
+		kb = kb[:0]
+		for _, kv := range keyVecs {
+			kb = appendKey(kb, kv, r)
+		}
+		g, ok := e.groups[string(kb)]
+		if !ok {
+			keys := make([]Value, len(keyVecs))
+			for i, kv := range keyVecs {
+				keys[i] = valueAt(kv, r)
+			}
+			g = &group{keys: keys, aggs: make([]aggState, len(e.q.Items))}
+			e.groups[string(kb)] = g
+		}
+		for i, it := range e.q.Items {
+			if it.Agg == AggNone {
+				continue
+			}
+			updateAggRow(&g.aggs[i], aggVecs[i], r)
+		}
+	}
+	return nil
+}
+
+// appendKey appends a self-delimiting encoding of row r of the key vector.
+func appendKey(dst []byte, v *chunk.Vector, r int) []byte {
+	switch v.Type {
+	case schema.Int64:
+		dst = strconv.AppendInt(dst, v.Ints[r], 10)
+	case schema.Float64:
+		dst = strconv.AppendFloat(dst, v.Floats[r], 'g', -1, 64)
+	default:
+		dst = append(dst, v.Strs[r]...)
+	}
+	return append(dst, 0)
+}
+
+// updateAggRow folds row r of vector v (nil for COUNT(*)) into st.
+func updateAggRow(st *aggState, v *chunk.Vector, r int) {
+	st.count++
+	if v == nil {
+		return
+	}
+	switch v.Type {
+	case schema.Int64:
+		x := v.Ints[r]
+		st.sumInt += x
+		if !st.seen || x < st.minI {
+			st.minI = x
+		}
+		if !st.seen || x > st.maxI {
+			st.maxI = x
+		}
+	case schema.Float64:
+		x := v.Floats[r]
+		st.sumFloat += x
+		if !st.seen || x < st.minF {
+			st.minF = x
+		}
+		if !st.seen || x > st.maxF {
+			st.maxF = x
+		}
+	case schema.Str:
+		x := v.Strs[r]
+		if !st.seen || x < st.minS {
+			st.minS = x
+		}
+		if !st.seen || x > st.maxS {
+			st.maxS = x
+		}
+	}
+	st.seen = true
+}
+
+// updateAggBulk folds an entire vector (or its selection) into st.
+func updateAggBulk(st *aggState, v *chunk.Vector, rows int, sel []int) {
+	if v == nil { // COUNT(*)
+		if sel != nil {
+			st.count += int64(len(sel))
+		} else {
+			st.count += int64(rows)
+		}
+		return
+	}
+	if sel != nil {
+		for _, r := range sel {
+			updateAggRow(st, v, r)
+		}
+		return
+	}
+	st.count += int64(rows)
+	switch v.Type {
+	case schema.Int64:
+		var sum int64
+		mn, mx := st.minI, st.maxI
+		if !st.seen && len(v.Ints) > 0 {
+			mn, mx = v.Ints[0], v.Ints[0]
+		}
+		for _, x := range v.Ints {
+			sum += x
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		st.sumInt += sum
+		st.minI, st.maxI = mn, mx
+	case schema.Float64:
+		var sum float64
+		mn, mx := st.minF, st.maxF
+		if !st.seen && len(v.Floats) > 0 {
+			mn, mx = v.Floats[0], v.Floats[0]
+		}
+		for _, x := range v.Floats {
+			sum += x
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		st.sumFloat += sum
+		st.minF, st.maxF = mn, mx
+	case schema.Str:
+		for _, x := range v.Strs {
+			if !st.seen || x < st.minS {
+				st.minS = x
+			}
+			if !st.seen || x > st.maxS {
+				st.maxS = x
+			}
+			st.seen = true
+		}
+		return
+	}
+	if rows > 0 {
+		st.seen = true
+	}
+}
+
+func (e *Executor) consumeRows(bc *chunk.BinaryChunk, sel []int) error {
+	// With ORDER BY every qualifying row must be seen before the limit
+	// can apply; without it the limit short-circuits row collection.
+	earlyLimit := e.q.Limit > 0 && len(e.q.OrderBy) == 0
+	if earlyLimit && len(e.rows) >= e.q.Limit {
+		return nil
+	}
+	vecs := make([]*chunk.Vector, len(e.q.Items))
+	for i, it := range e.q.Items {
+		v, err := it.Expr.Eval(bc)
+		if err != nil {
+			return err
+		}
+		vecs[i] = v
+	}
+	emit := func(r int) {
+		row := make([]Value, len(vecs))
+		for i, v := range vecs {
+			row[i] = valueAt(v, r)
+		}
+		e.rows = append(e.rows, row)
+	}
+	if sel == nil {
+		for r := 0; r < bc.Rows; r++ {
+			if earlyLimit && len(e.rows) >= e.q.Limit {
+				break
+			}
+			emit(r)
+		}
+	} else {
+		for _, r := range sel {
+			if earlyLimit && len(e.rows) >= e.q.Limit {
+				break
+			}
+			emit(r)
+		}
+	}
+	return nil
+}
+
+// finalize converts one group's aggregate state into output values.
+func (e *Executor) finalize(g *group) []Value {
+	row := make([]Value, len(e.q.Items))
+	keyIdx := map[string]int{}
+	for i, gb := range e.q.GroupBy {
+		keyIdx[gb.String()] = i
+	}
+	for i, it := range e.q.Items {
+		if it.Agg == AggNone {
+			row[i] = g.keys[keyIdx[it.Expr.String()]]
+			continue
+		}
+		st := g.aggs[i]
+		var t schema.Type
+		if it.Expr != nil {
+			t = it.Expr.Type()
+		}
+		switch it.Agg {
+		case AggCount:
+			row[i] = IntValue(st.count)
+		case AggSum:
+			if t == schema.Float64 {
+				row[i] = FloatValue(st.sumFloat)
+			} else {
+				row[i] = IntValue(st.sumInt)
+			}
+		case AggAvg:
+			if st.count == 0 {
+				row[i] = FloatValue(math.NaN())
+			} else if t == schema.Float64 {
+				row[i] = FloatValue(st.sumFloat / float64(st.count))
+			} else {
+				row[i] = FloatValue(float64(st.sumInt) / float64(st.count))
+			}
+		case AggMin:
+			switch t {
+			case schema.Int64:
+				row[i] = IntValue(st.minI)
+			case schema.Float64:
+				row[i] = FloatValue(st.minF)
+			default:
+				row[i] = StrValue(st.minS)
+			}
+		case AggMax:
+			switch t {
+			case schema.Int64:
+				row[i] = IntValue(st.maxI)
+			case schema.Float64:
+				row[i] = FloatValue(st.maxF)
+			default:
+				row[i] = StrValue(st.maxS)
+			}
+		}
+	}
+	return row
+}
+
+// Result materializes the final result. For grouped queries rows are
+// ordered by group key for determinism; a scalar aggregate over zero rows
+// yields one row of zero/NaN values.
+func (e *Executor) Result() (*Result, error) {
+	e.done = true
+	res := &Result{Cols: make([]string, len(e.q.Items))}
+	for i, it := range e.q.Items {
+		res.Cols[i] = it.Name()
+	}
+	if !e.q.IsAggregate() {
+		res.Rows = e.rows
+		sortRows(res.Rows, e.q.OrderBy)
+		if e.q.Limit > 0 && len(res.Rows) > e.q.Limit {
+			res.Rows = res.Rows[:e.q.Limit]
+		}
+		return res, nil
+	}
+	if len(e.q.GroupBy) == 0 && len(e.groups) == 0 {
+		// Scalar aggregate over the empty input.
+		e.groups[""] = &group{aggs: make([]aggState, len(e.q.Items))}
+	}
+	keys := make([]string, 0, len(e.groups))
+	for k := range e.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		res.Rows = append(res.Rows, e.finalize(e.groups[k]))
+	}
+	res.Rows = filterRows(res.Rows, e.q.Having)
+	sortRows(res.Rows, e.q.OrderBy)
+	if e.q.Limit > 0 && len(res.Rows) > e.q.Limit {
+		res.Rows = res.Rows[:e.q.Limit]
+	}
+	return res, nil
+}

@@ -1,0 +1,520 @@
+// Package engine implements the columnar query-execution layer SCANRAW
+// feeds: vectorized expression evaluation over binary chunks, filtering,
+// projection, aggregation (SUM/COUNT/MIN/MAX/AVG) with hash group-by, and a
+// SQL-subset parser for the query shapes the paper evaluates
+// (SELECT SUM(c1+...+cK) FROM file, and group-by aggregates with pattern
+// predicates for the SAM workload).
+//
+// The engine stands in for the DataPath execution engine the paper
+// integrates with (§5, "Implementation"): cheap enough that SCANRAW is the
+// measured component, but a real consumer of binary chunks with predicate
+// evaluation and aggregation.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/schema"
+)
+
+// Expr is a bound (column ordinals resolved) vectorized expression.
+type Expr interface {
+	// Type returns the result type of the expression.
+	Type() schema.Type
+	// Eval evaluates the expression over every row of the chunk. Boolean
+	// results are Int64 vectors of 0/1.
+	Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error)
+	// Columns appends the schema ordinals the expression reads to dst.
+	Columns(dst []int) []int
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// Col references a table column by ordinal.
+type Col struct {
+	Idx  int
+	Name string
+	Typ  schema.Type
+}
+
+// NewCol builds a bound column reference for the named column of sch.
+func NewCol(sch *schema.Schema, name string) (*Col, error) {
+	i, ok := sch.Index(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown column %q", name)
+	}
+	return &Col{Idx: i, Name: name, Typ: sch.Column(i).Type}, nil
+}
+
+// Type implements Expr.
+func (c *Col) Type() schema.Type { return c.Typ }
+
+// Eval implements Expr.
+func (c *Col) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
+	v := bc.Column(c.Idx)
+	if v == nil {
+		return nil, fmt.Errorf("engine: column %q (ordinal %d) absent from chunk %d", c.Name, c.Idx, bc.ID)
+	}
+	return v, nil
+}
+
+// Columns implements Expr.
+func (c *Col) Columns(dst []int) []int { return append(dst, c.Idx) }
+
+// String implements Expr.
+func (c *Col) String() string { return c.Name }
+
+// Const is a literal value.
+type Const struct {
+	Typ   schema.Type
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// ConstInt returns an integer literal.
+func ConstInt(x int64) *Const { return &Const{Typ: schema.Int64, Int: x} }
+
+// ConstFloat returns a float literal.
+func ConstFloat(x float64) *Const { return &Const{Typ: schema.Float64, Float: x} }
+
+// ConstStr returns a string literal.
+func ConstStr(s string) *Const { return &Const{Typ: schema.Str, Str: s} }
+
+// Type implements Expr.
+func (c *Const) Type() schema.Type { return c.Typ }
+
+// Eval implements Expr.
+func (c *Const) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
+	v := chunk.NewVector(c.Typ, bc.Rows)
+	switch c.Typ {
+	case schema.Int64:
+		for i := range v.Ints {
+			v.Ints[i] = c.Int
+		}
+	case schema.Float64:
+		for i := range v.Floats {
+			v.Floats[i] = c.Float
+		}
+	case schema.Str:
+		for i := range v.Strs {
+			v.Strs[i] = c.Str
+		}
+	}
+	return v, nil
+}
+
+// Columns implements Expr.
+func (c *Const) Columns(dst []int) []int { return dst }
+
+// String implements Expr.
+func (c *Const) String() string {
+	switch c.Typ {
+	case schema.Int64:
+		return fmt.Sprintf("%d", c.Int)
+	case schema.Float64:
+		return fmt.Sprintf("%g", c.Float)
+	default:
+		return fmt.Sprintf("'%s'", strings.ReplaceAll(c.Str, "'", "''"))
+	}
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+func (op ArithOp) String() string { return [...]string{"+", "-", "*", "/", "%"}[op] }
+
+// Arith is a binary arithmetic expression over numeric operands. Mixed
+// int/float operands promote to float.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// NewArith builds an arithmetic expression, validating operand types.
+func NewArith(op ArithOp, l, r Expr) (*Arith, error) {
+	if l.Type() == schema.Str || r.Type() == schema.Str {
+		return nil, fmt.Errorf("engine: arithmetic %s over string operand", op)
+	}
+	if op == OpMod && (l.Type() != schema.Int64 || r.Type() != schema.Int64) {
+		return nil, fmt.Errorf("engine: %% requires integer operands")
+	}
+	return &Arith{Op: op, L: l, R: r}, nil
+}
+
+// Type implements Expr.
+func (a *Arith) Type() schema.Type {
+	if a.L.Type() == schema.Float64 || a.R.Type() == schema.Float64 {
+		return schema.Float64
+	}
+	return schema.Int64
+}
+
+// Eval implements Expr.
+func (a *Arith) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
+	l, err := a.L.Eval(bc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.R.Eval(bc)
+	if err != nil {
+		return nil, err
+	}
+	n := bc.Rows
+	if a.Type() == schema.Int64 {
+		out := chunk.NewVector(schema.Int64, n)
+		for i := 0; i < n; i++ {
+			x, y := l.Ints[i], r.Ints[i]
+			switch a.Op {
+			case OpAdd:
+				out.Ints[i] = x + y
+			case OpSub:
+				out.Ints[i] = x - y
+			case OpMul:
+				out.Ints[i] = x * y
+			case OpDiv:
+				if y == 0 {
+					return nil, fmt.Errorf("engine: division by zero at row %d", i)
+				}
+				out.Ints[i] = x / y
+			case OpMod:
+				if y == 0 {
+					return nil, fmt.Errorf("engine: modulo by zero at row %d", i)
+				}
+				out.Ints[i] = x % y
+			}
+		}
+		return out, nil
+	}
+	lf := asFloats(l)
+	rf := asFloats(r)
+	out := chunk.NewVector(schema.Float64, n)
+	for i := 0; i < n; i++ {
+		x, y := lf[i], rf[i]
+		switch a.Op {
+		case OpAdd:
+			out.Floats[i] = x + y
+		case OpSub:
+			out.Floats[i] = x - y
+		case OpMul:
+			out.Floats[i] = x * y
+		case OpDiv:
+			if y == 0 {
+				return nil, fmt.Errorf("engine: division by zero at row %d", i)
+			}
+			out.Floats[i] = x / y
+		}
+	}
+	return out, nil
+}
+
+func asFloats(v *chunk.Vector) []float64 {
+	if v.Type == schema.Float64 {
+		return v.Floats
+	}
+	out := make([]float64, len(v.Ints))
+	for i, x := range v.Ints {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Columns implements Expr.
+func (a *Arith) Columns(dst []int) []int { return a.R.Columns(a.L.Columns(dst)) }
+
+// String implements Expr.
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string { return [...]string{"=", "<>", "<", "<=", ">", ">="}[op] }
+
+// Cmp is a comparison producing a 0/1 Int64 vector.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// NewCmp builds a comparison, validating operand type compatibility.
+func NewCmp(op CmpOp, l, r Expr) (*Cmp, error) {
+	ls, rs := l.Type() == schema.Str, r.Type() == schema.Str
+	if ls != rs {
+		return nil, fmt.Errorf("engine: cannot compare %v with %v", l.Type(), r.Type())
+	}
+	return &Cmp{Op: op, L: l, R: r}, nil
+}
+
+// Type implements Expr.
+func (c *Cmp) Type() schema.Type { return schema.Int64 }
+
+// Eval implements Expr.
+func (c *Cmp) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
+	l, err := c.L.Eval(bc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.R.Eval(bc)
+	if err != nil {
+		return nil, err
+	}
+	n := bc.Rows
+	out := chunk.NewVector(schema.Int64, n)
+	sign := make([]int, n)
+	switch {
+	case l.Type == schema.Str:
+		for i := 0; i < n; i++ {
+			sign[i] = strings.Compare(l.Strs[i], r.Strs[i])
+		}
+	case l.Type == schema.Int64 && r.Type == schema.Int64:
+		for i := 0; i < n; i++ {
+			switch {
+			case l.Ints[i] < r.Ints[i]:
+				sign[i] = -1
+			case l.Ints[i] > r.Ints[i]:
+				sign[i] = 1
+			}
+		}
+	default:
+		lf, rf := asFloats(l), asFloats(r)
+		for i := 0; i < n; i++ {
+			switch {
+			case lf[i] < rf[i]:
+				sign[i] = -1
+			case lf[i] > rf[i]:
+				sign[i] = 1
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		var b bool
+		switch c.Op {
+		case OpEq:
+			b = sign[i] == 0
+		case OpNe:
+			b = sign[i] != 0
+		case OpLt:
+			b = sign[i] < 0
+		case OpLe:
+			b = sign[i] <= 0
+		case OpGt:
+			b = sign[i] > 0
+		case OpGe:
+			b = sign[i] >= 0
+		}
+		if b {
+			out.Ints[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// Columns implements Expr.
+func (c *Cmp) Columns(dst []int) []int { return c.R.Columns(c.L.Columns(dst)) }
+
+// String implements Expr.
+func (c *Cmp) String() string { return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R) }
+
+// LogicOp enumerates boolean connectives.
+type LogicOp uint8
+
+// Boolean connectives.
+const (
+	OpAnd LogicOp = iota
+	OpOr
+	OpNot
+)
+
+func (op LogicOp) String() string { return [...]string{"AND", "OR", "NOT"}[op] }
+
+// Logic combines boolean (0/1 Int64) expressions.
+type Logic struct {
+	Op   LogicOp
+	L, R Expr // R is nil for NOT
+}
+
+// NewLogic builds a boolean connective over Int64 (0/1) operands.
+func NewLogic(op LogicOp, l, r Expr) (*Logic, error) {
+	if l.Type() != schema.Int64 || (op != OpNot && r.Type() != schema.Int64) {
+		return nil, fmt.Errorf("engine: %s requires boolean operands", op)
+	}
+	return &Logic{Op: op, L: l, R: r}, nil
+}
+
+// Type implements Expr.
+func (l *Logic) Type() schema.Type { return schema.Int64 }
+
+// Eval implements Expr.
+func (l *Logic) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
+	lv, err := l.L.Eval(bc)
+	if err != nil {
+		return nil, err
+	}
+	out := chunk.NewVector(schema.Int64, bc.Rows)
+	if l.Op == OpNot {
+		for i := range out.Ints {
+			if lv.Ints[i] == 0 {
+				out.Ints[i] = 1
+			}
+		}
+		return out, nil
+	}
+	rv, err := l.R.Eval(bc)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out.Ints {
+		a, b := lv.Ints[i] != 0, rv.Ints[i] != 0
+		var r bool
+		if l.Op == OpAnd {
+			r = a && b
+		} else {
+			r = a || b
+		}
+		if r {
+			out.Ints[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// Columns implements Expr.
+func (l *Logic) Columns(dst []int) []int {
+	dst = l.L.Columns(dst)
+	if l.R != nil {
+		dst = l.R.Columns(dst)
+	}
+	return dst
+}
+
+// String implements Expr.
+func (l *Logic) String() string {
+	if l.Op == OpNot {
+		return fmt.Sprintf("(NOT %s)", l.L)
+	}
+	return fmt.Sprintf("(%s %s %s)", l.L, l.Op, l.R)
+}
+
+// Like matches a string expression against a SQL LIKE pattern ('%' matches
+// any run, '_' matches one byte). The SAM workload's "reads exhibiting a
+// certain pattern" predicate compiles to this.
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+// NewLike builds a LIKE predicate over a string expression.
+func NewLike(e Expr, pattern string, negate bool) (*Like, error) {
+	if e.Type() != schema.Str {
+		return nil, fmt.Errorf("engine: LIKE requires a string operand")
+	}
+	return &Like{E: e, Pattern: pattern, Negate: negate}, nil
+}
+
+// Type implements Expr.
+func (l *Like) Type() schema.Type { return schema.Int64 }
+
+// Eval implements Expr.
+func (l *Like) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
+	v, err := l.E.Eval(bc)
+	if err != nil {
+		return nil, err
+	}
+	out := chunk.NewVector(schema.Int64, bc.Rows)
+	for i, s := range v.Strs {
+		m := likeMatch(s, l.Pattern)
+		if m != l.Negate {
+			out.Ints[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// likeMatch implements SQL LIKE with '%' and '_' wildcards using the
+// classic two-pointer backtracking algorithm (linear for patterns with a
+// single '%' run, worst-case quadratic).
+func likeMatch(s, p string) bool {
+	var si, pi int
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star, match = pi, si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// Columns implements Expr.
+func (l *Like) Columns(dst []int) []int { return l.E.Columns(dst) }
+
+// String implements Expr.
+func (l *Like) String() string {
+	not := ""
+	if l.Negate {
+		not = "NOT "
+	}
+	return fmt.Sprintf("(%s %sLIKE '%s')", l.E, not, l.Pattern)
+}
+
+// DedupColumns returns the sorted, de-duplicated ordinals referenced by the
+// expressions.
+func DedupColumns(exprs ...Expr) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		for _, c := range e.Columns(nil) {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	// Insertion sort keeps this dependency-free and fast for small lists.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

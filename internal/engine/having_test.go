@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestHavingFiltersGroups(t *testing.T) {
+	// Groups: x(1), yy(2), zzz(1).
+	res := runQuery(t, "SELECT s, COUNT(*) AS n FROM t GROUP BY s HAVING n > 1", testChunk(t))
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "yy" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestHavingByOrdinalAndConjunction(t *testing.T) {
+	res := runQuery(t,
+		"SELECT s, SUM(a) FROM t GROUP BY s HAVING 2 >= 1 AND 2 <= 3 ORDER BY 2",
+		testChunk(t))
+	// Sums: x=1, yy=6, zzz=3 → HAVING keeps 1 and 3 → x, zzz.
+	if len(res.Rows) != 2 || res.Rows[0][0].Str != "x" || res.Rows[1][0].Str != "zzz" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestHavingStringLiteral(t *testing.T) {
+	res := runQuery(t, "SELECT s, COUNT(*) FROM t GROUP BY s HAVING s <> 'yy'", testChunk(t))
+	for _, row := range res.Rows {
+		if row[0].Str == "yy" {
+			t.Errorf("yy not filtered: %v", res.Rows)
+		}
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestHavingScalarAggregate(t *testing.T) {
+	// HAVING applies to the single scalar row too.
+	res := runQuery(t, "SELECT COUNT(*) AS n FROM t HAVING n > 100", testChunk(t))
+	if len(res.Rows) != 0 {
+		t.Errorf("scalar HAVING should filter the row: %v", res.Rows)
+	}
+	res = runQuery(t, "SELECT COUNT(*) AS n FROM t HAVING n = 4", testChunk(t))
+	if len(res.Rows) != 1 {
+		t.Errorf("scalar HAVING should keep the row: %v", res.Rows)
+	}
+}
+
+func TestHavingFloat(t *testing.T) {
+	res := runQuery(t, "SELECT s, AVG(f) AS m FROM t GROUP BY s HAVING m >= 1.0", testChunk(t))
+	// Averages: x=0.5, yy=(1.5+3.5)/2=2.5, zzz=2.5.
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestHavingErrors(t *testing.T) {
+	bad := []string{
+		"SELECT s, COUNT(*) FROM t GROUP BY s HAVING nope > 1",
+		"SELECT s, COUNT(*) FROM t GROUP BY s HAVING 0 > 1",
+		"SELECT s, COUNT(*) FROM t GROUP BY s HAVING",
+		"SELECT s, COUNT(*) FROM t GROUP BY s HAVING s LIKE 'x'", // unsupported op
+		"SELECT s, COUNT(*) FROM t GROUP BY s HAVING s >",
+		"SELECT a FROM t HAVING a > 1", // no aggregation
+	}
+	for _, sql := range bad {
+		if _, err := ParseSQL(sql, testSch); err == nil {
+			t.Errorf("ParseSQL(%q) should fail", sql)
+		}
+	}
+}
+
+func TestHavingValidateBounds(t *testing.T) {
+	q := &Query{
+		Items:  []SelectItem{{Agg: AggCount}},
+		From:   "t",
+		Having: []HavingClause{{Column: 9, Op: OpGt, Value: IntValue(1)}},
+	}
+	if err := q.Validate(); err == nil {
+		t.Error("out-of-range HAVING column should fail")
+	}
+}

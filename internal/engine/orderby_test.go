@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestOrderByNonAggregate(t *testing.T) {
+	res := runQuery(t, "SELECT a, b FROM t ORDER BY a DESC", testChunk(t))
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 0; i < 4; i++ {
+		if got := res.Rows[i][0].Int; got != int64(4-i) {
+			t.Errorf("row %d a = %d, want %d", i, got, 4-i)
+		}
+	}
+}
+
+func TestOrderByAscDefault(t *testing.T) {
+	asc := runQuery(t, "SELECT b FROM t ORDER BY b", testChunk(t))
+	explicit := runQuery(t, "SELECT b FROM t ORDER BY b ASC", testChunk(t))
+	for i := range asc.Rows {
+		if asc.Rows[i][0].Int != explicit.Rows[i][0].Int {
+			t.Fatal("ASC should be the default")
+		}
+	}
+	if asc.Rows[0][0].Int != 10 || asc.Rows[3][0].Int != 40 {
+		t.Errorf("ascending order wrong: %v", asc.Rows)
+	}
+}
+
+func TestOrderByGroupedAlias(t *testing.T) {
+	// Groups: x(1), yy(2), zzz(1). Order by count descending → yy first.
+	res := runQuery(t, "SELECT s, COUNT(*) AS n FROM t GROUP BY s ORDER BY n DESC, s", testChunk(t))
+	if res.Rows[0][0].Str != "yy" || res.Rows[0][1].Int != 2 {
+		t.Errorf("top group = %v", res.Rows[0])
+	}
+	// Tie (x and zzz both 1) broken by the secondary key s ascending.
+	if res.Rows[1][0].Str != "x" || res.Rows[2][0].Str != "zzz" {
+		t.Errorf("tie-break wrong: %v %v", res.Rows[1], res.Rows[2])
+	}
+}
+
+func TestOrderByOrdinal(t *testing.T) {
+	res := runQuery(t, "SELECT s, SUM(a) FROM t GROUP BY s ORDER BY 2 DESC", testChunk(t))
+	// Sums: x=1, yy=6, zzz=3 → yy, zzz, x.
+	want := []string{"yy", "zzz", "x"}
+	for i, w := range want {
+		if res.Rows[i][0].Str != w {
+			t.Errorf("row %d = %q, want %q", i, res.Rows[i][0].Str, w)
+		}
+	}
+}
+
+func TestOrderByWithLimit(t *testing.T) {
+	// Top-1 requires the full sort before truncation.
+	res := runQuery(t, "SELECT a FROM t ORDER BY a DESC LIMIT 1", testChunk(t), testChunk(t))
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 4 {
+		t.Errorf("top-1 = %v", res.Rows)
+	}
+}
+
+func TestOrderByFloatAndString(t *testing.T) {
+	res := runQuery(t, "SELECT f, s FROM t ORDER BY f DESC", testChunk(t))
+	if res.Rows[0][0].Float != 3.5 {
+		t.Errorf("float sort wrong: %v", res.Rows[0])
+	}
+	res2 := runQuery(t, "SELECT s FROM t ORDER BY s DESC LIMIT 1", testChunk(t))
+	if res2.Rows[0][0].Str != "zzz" {
+		t.Errorf("string sort wrong: %v", res2.Rows[0])
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	bad := []string{
+		"SELECT a FROM t ORDER BY nope",
+		"SELECT a FROM t ORDER BY 0",
+		"SELECT a FROM t ORDER BY 2",
+		"SELECT a FROM t ORDER BY",
+		"SELECT a FROM t ORDER a",
+		"SELECT s, COUNT(*) FROM t GROUP BY s ORDER BY b", // b not in select list
+	}
+	for _, sql := range bad {
+		if _, err := ParseSQL(sql, testSch); err == nil {
+			t.Errorf("ParseSQL(%q) should fail", sql)
+		}
+	}
+}
+
+func TestValidateOrderByBounds(t *testing.T) {
+	q := &Query{
+		Items:   []SelectItem{{Expr: col(t, "a")}},
+		From:    "t",
+		OrderBy: []OrderItem{{Column: 5}},
+	}
+	if err := q.Validate(); err == nil {
+		t.Error("out-of-range ORDER BY column should fail validation")
+	}
+}
+
+func TestOrderByStable(t *testing.T) {
+	// Two identical chunks: rows with equal keys keep insertion order.
+	res := runQuery(t, "SELECT a, b FROM t ORDER BY a", testChunk(t), testChunk(t))
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 0; i < 8; i += 2 {
+		if res.Rows[i][0].Int != res.Rows[i+1][0].Int {
+			t.Errorf("pair %d not grouped: %v %v", i, res.Rows[i], res.Rows[i+1])
+		}
+	}
+}

@@ -1,0 +1,671 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"scanraw/internal/schema"
+)
+
+// ParseSQL parses and binds a query in the SQL subset the system supports:
+//
+//	SELECT item [, item...]
+//	FROM name
+//	[WHERE predicate]
+//	[GROUP BY expr [, expr...]]
+//	[LIMIT n]
+//
+// where item is an expression, optionally aggregated with
+// SUM/COUNT/MIN/MAX/AVG and optionally aliased with AS. Expressions support
+// + - * / %, comparisons, AND/OR/NOT, LIKE/NOT LIKE, parentheses, integer,
+// float and 'string' literals, and column references resolved against sch.
+func ParseSQL(sql string, sch *schema.Schema) (*Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks, sch: sch}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokOp // punctuation and operators
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(s) && isIdentPart(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j], i})
+			i = j
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9'):
+			j := i
+			seenDot := false
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || (s[j] == '.' && !seenDot)) {
+				if s[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j], i})
+			i = j
+		case c == '\'':
+			j := i + 1
+			var b strings.Builder
+			for {
+				if j >= len(s) {
+					return nil, fmt.Errorf("sql: unterminated string at offset %d", i)
+				}
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				b.WriteByte(s[j])
+				j++
+			}
+			toks = append(toks, token{tokString, b.String(), i})
+			i = j + 1
+		case strings.ContainsRune("+-*/%(),=", rune(c)):
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		case c == '<':
+			if i+1 < len(s) && (s[i+1] == '=' || s[i+1] == '>') {
+				toks = append(toks, token{tokOp, s[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(s)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+type sqlParser struct {
+	toks []token
+	pos  int
+	sch  *schema.Schema
+}
+
+func (p *sqlParser) peek() token   { return p.toks[p.pos] }
+func (p *sqlParser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *sqlParser) save() int     { return p.pos }
+func (p *sqlParser) restore(m int) { p.pos = m }
+
+// matchKw consumes the next token when it is the given keyword (case
+// insensitive).
+func (p *sqlParser) matchKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// matchOp consumes the next token when it is the given operator.
+func (p *sqlParser) matchOp(op string) bool {
+	t := p.peek()
+	if t.kind == tokOp && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKw(kw string) error {
+	if !p.matchKw(kw) {
+		t := p.peek()
+		return fmt.Errorf("sql: expected %s at offset %d, found %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectOp(op string) error {
+	if !p.matchOp(op) {
+		t := p.peek()
+		return fmt.Errorf("sql: expected %q at offset %d, found %q", op, t.pos, t.text)
+	}
+	return nil
+}
+
+var aggNames = map[string]AggFunc{
+	"SUM": AggSum, "COUNT": AggCount, "MIN": AggMin, "MAX": AggMax, "AVG": AggAvg,
+}
+
+// reserved keywords that terminate expressions / cannot be column names in
+// expression position.
+var reserved = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "HAVING": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "LIKE": true,
+}
+
+func (p *sqlParser) parseQuery() (*Query, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		// SELECT * expands to every schema column, in order.
+		if p.matchOp("*") {
+			for _, c := range p.sch.Columns() {
+				col, err := NewCol(p.sch, c.Name)
+				if err != nil {
+					return nil, err
+				}
+				q.Items = append(q.Items, SelectItem{Expr: col})
+			}
+		} else {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			q.Items = append(q.Items, item)
+		}
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("sql: expected table name at offset %d", t.pos)
+	}
+	q.From = t.text
+	if p.matchKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.matchKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKw("HAVING") {
+		for {
+			h, err := p.parseHavingClause(q.Items)
+			if err != nil {
+				return nil, err
+			}
+			q.Having = append(q.Having, h)
+			if !p.matchKw("AND") {
+				break
+			}
+		}
+	}
+	if p.matchKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			key, err := p.parseOrderKey(q.Items)
+			if err != nil {
+				return nil, err
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKw("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected number after LIMIT at offset %d", t.pos)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: invalid LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at offset %d: %q", t.pos, t.text)
+	}
+	return q, nil
+}
+
+// parseHavingClause parses one HAVING conjunct of the supported subset:
+// <select-list column or 1-based ordinal> <cmp> <literal>.
+func (p *sqlParser) parseHavingClause(items []SelectItem) (HavingClause, error) {
+	var h HavingClause
+	t := p.next()
+	var col int
+	var err error
+	switch t.kind {
+	case tokIdent:
+		if reserved[strings.ToUpper(t.text)] {
+			return h, fmt.Errorf("sql: unexpected keyword %q in HAVING at offset %d", t.text, t.pos)
+		}
+		col, err = resolveOrderKey(items, t.text, 0)
+	case tokNumber:
+		n, convErr := strconv.Atoi(t.text)
+		if convErr != nil {
+			return h, fmt.Errorf("sql: invalid HAVING position %q", t.text)
+		}
+		col, err = resolveOrderKey(items, "", n)
+	default:
+		return h, fmt.Errorf("sql: HAVING expects a select-list column at offset %d", t.pos)
+	}
+	if err != nil {
+		return h, err
+	}
+	h.Column = col
+	op := p.next()
+	cmp, ok := cmpOps[op.text]
+	if op.kind != tokOp || !ok {
+		return h, fmt.Errorf("sql: HAVING expects a comparison at offset %d", op.pos)
+	}
+	h.Op = cmp
+	lit := p.next()
+	switch lit.kind {
+	case tokNumber:
+		if strings.Contains(lit.text, ".") {
+			f, err := strconv.ParseFloat(lit.text, 64)
+			if err != nil {
+				return h, fmt.Errorf("sql: invalid HAVING literal %q", lit.text)
+			}
+			h.Value = FloatValue(f)
+		} else {
+			n, err := strconv.ParseInt(lit.text, 10, 64)
+			if err != nil {
+				return h, fmt.Errorf("sql: invalid HAVING literal %q", lit.text)
+			}
+			h.Value = IntValue(n)
+		}
+	case tokString:
+		h.Value = StrValue(lit.text)
+	default:
+		return h, fmt.Errorf("sql: HAVING expects a literal at offset %d", lit.pos)
+	}
+	return h, nil
+}
+
+// parseOrderKey parses one ORDER BY key: a select-list alias/column name
+// or a 1-based ordinal, optionally followed by ASC or DESC.
+func (p *sqlParser) parseOrderKey(items []SelectItem) (OrderItem, error) {
+	var key OrderItem
+	t := p.next()
+	var col int
+	var err error
+	switch t.kind {
+	case tokIdent:
+		if reserved[strings.ToUpper(t.text)] {
+			return key, fmt.Errorf("sql: unexpected keyword %q in ORDER BY at offset %d", t.text, t.pos)
+		}
+		col, err = resolveOrderKey(items, t.text, 0)
+	case tokNumber:
+		n, convErr := strconv.Atoi(t.text)
+		if convErr != nil {
+			return key, fmt.Errorf("sql: invalid ORDER BY position %q", t.text)
+		}
+		col, err = resolveOrderKey(items, "", n)
+	default:
+		return key, fmt.Errorf("sql: expected column or position in ORDER BY at offset %d", t.pos)
+	}
+	if err != nil {
+		return key, err
+	}
+	key.Column = col
+	if p.matchKw("DESC") {
+		key.Desc = true
+	} else {
+		p.matchKw("ASC") // optional, the default
+	}
+	return key, nil
+}
+
+func (p *sqlParser) parseSelectItem() (SelectItem, error) {
+	var it SelectItem
+	// Aggregate function?
+	t := p.peek()
+	if t.kind == tokIdent {
+		if f, ok := aggNames[strings.ToUpper(t.text)]; ok {
+			mark := p.save()
+			p.next()
+			if p.matchOp("(") {
+				it.Agg = f
+				if f == AggCount && p.matchOp("*") {
+					// COUNT(*)
+				} else {
+					e, err := p.parseExpr()
+					if err != nil {
+						return it, err
+					}
+					it.Expr = e
+				}
+				if err := p.expectOp(")"); err != nil {
+					return it, err
+				}
+			} else {
+				p.restore(mark) // a column that happens to be named SUM etc.
+			}
+		}
+	}
+	if it.Agg == AggNone {
+		e, err := p.parseExpr()
+		if err != nil {
+			return it, err
+		}
+		it.Expr = e
+	}
+	if p.matchKw("AS") {
+		t := p.next()
+		if t.kind != tokIdent {
+			return it, fmt.Errorf("sql: expected alias after AS at offset %d", t.pos)
+		}
+		it.Alias = t.text
+	}
+	return it, nil
+}
+
+// Expression grammar (highest binding last):
+//
+//	expr   := and (OR and)*
+//	and    := not (AND not)*
+//	not    := NOT not | cmp
+//	cmp    := add (cmpOp add | [NOT] LIKE string)?
+//	add    := mul ((+|-) mul)*
+//	mul    := unary ((*|/|%) unary)*
+//	unary  := - unary | primary
+//	primary:= number | string | column | ( expr )
+func (p *sqlParser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *sqlParser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l, err = NewLogic(OpOr, l, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l, err = NewLogic(OpAnd, l, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseNot() (Expr, error) {
+	if p.matchKw("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return NewLogic(OpNot, e, nil)
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]CmpOp{
+	"=": OpEq, "!=": OpNe, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *sqlParser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return NewCmp(op, l, r)
+		}
+	}
+	negate := false
+	mark := p.save()
+	if p.matchKw("NOT") {
+		if !p.matchKw("LIKE") {
+			p.restore(mark)
+			return l, nil
+		}
+		negate = true
+	} else if !p.matchKw("LIKE") {
+		return l, nil
+	}
+	t = p.next()
+	if t.kind != tokString {
+		return nil, fmt.Errorf("sql: LIKE expects a string pattern at offset %d", t.pos)
+	}
+	return NewLike(l, t.text, negate)
+}
+
+func (p *sqlParser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ArithOp
+		switch {
+		case p.matchOp("+"):
+			op = OpAdd
+		case p.matchOp("-"):
+			op = OpSub
+		default:
+			return l, nil
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l, err = NewArith(op, l, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *sqlParser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ArithOp
+		switch {
+		case p.matchOp("*"):
+			op = OpMul
+		case p.matchOp("/"):
+			op = OpDiv
+		case p.matchOp("%"):
+			op = OpMod
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l, err = NewArith(op, l, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *sqlParser) parseUnary() (Expr, error) {
+	if p.matchOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := e.(*Const); ok {
+			switch c.Typ {
+			case schema.Int64:
+				return ConstInt(-c.Int), nil
+			case schema.Float64:
+				return ConstFloat(-c.Float), nil
+			}
+		}
+		return NewArith(OpSub, ConstInt(0), e)
+	}
+	return p.parsePrimary()
+}
+
+func (p *sqlParser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: invalid number %q at offset %d", t.text, t.pos)
+			}
+			return ConstFloat(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: invalid number %q at offset %d", t.text, t.pos)
+		}
+		return ConstInt(n), nil
+	case tokString:
+		return ConstStr(t.text), nil
+	case tokIdent:
+		if reserved[strings.ToUpper(t.text)] {
+			return nil, fmt.Errorf("sql: unexpected keyword %q at offset %d", t.text, t.pos)
+		}
+		return NewCol(p.sch, t.text)
+	case tokOp:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q at offset %d", t.text, t.pos)
+}
+
+// SumAllColumns builds the paper's micro-benchmark query
+// SELECT SUM(c_{i1} + ... + c_{iK}) FROM <table> over the listed column
+// ordinals of sch.
+func SumAllColumns(sch *schema.Schema, table string, cols []int) (*Query, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: SumAllColumns needs at least one column")
+	}
+	var e Expr
+	for _, c := range cols {
+		if c < 0 || c >= sch.NumColumns() {
+			return nil, fmt.Errorf("engine: column ordinal %d out of range", c)
+		}
+		col := &Col{Idx: c, Name: sch.Column(c).Name, Typ: sch.Column(c).Type}
+		if e == nil {
+			e = col
+			continue
+		}
+		var err error
+		e, err = NewArith(OpAdd, e, col)
+		if err != nil {
+			return nil, err
+		}
+	}
+	q := &Query{
+		Items: []SelectItem{{Agg: AggSum, Expr: e, Alias: "total"}},
+		From:  table,
+	}
+	return q, q.Validate()
+}

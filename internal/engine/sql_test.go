@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"scanraw/internal/schema"
+)
+
+func TestParseSimpleSum(t *testing.T) {
+	q, err := ParseSQL("SELECT SUM(a+b) FROM data", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From != "data" || len(q.Items) != 1 || q.Items[0].Agg != AggSum {
+		t.Errorf("query = %+v", q)
+	}
+	if q.Items[0].Name() != "SUM((a + b))" {
+		t.Errorf("item name = %q", q.Items[0].Name())
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := ParseSQL("select sum(a) from t where a > 1 group by b limit 5", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where == nil || len(q.GroupBy) != 1 || q.Limit != 5 {
+		t.Errorf("query = %+v", q)
+	}
+}
+
+func TestParseWhereComplex(t *testing.T) {
+	q, err := ParseSQL(
+		"SELECT COUNT(*) FROM t WHERE (a + 1) * 2 >= b AND NOT s LIKE 'x%' OR f < 0.5",
+		testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Where.String()
+	// OR binds loosest: ((... AND ...) OR ...)
+	if !strings.HasPrefix(s, "((") || !strings.Contains(s, "OR") {
+		t.Errorf("precedence wrong: %s", s)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	q, err := ParseSQL("SELECT a + b * 2 FROM t LIMIT 1", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Items[0].Expr.String(); got != "(a + (b * 2))" {
+		t.Errorf("precedence = %s", got)
+	}
+}
+
+func TestParseUnaryMinus(t *testing.T) {
+	q, err := ParseSQL("SELECT a - -3 FROM t", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Items[0].Expr.String(); got != "(a - -3)" {
+		t.Errorf("unary minus = %s", got)
+	}
+	q2, err := ParseSQL("SELECT -a FROM t", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q2.Items[0].Expr.String(); got != "(0 - a)" {
+		t.Errorf("unary minus over column = %s", got)
+	}
+	q3, err := ParseSQL("SELECT -2.5 FROM t", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q3.Items[0].Expr.String(); got != "-2.5" {
+		t.Errorf("negative float literal = %s", got)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	q, err := ParseSQL("SELECT SUM(a) AS total, COUNT(*) AS n FROM t", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Items[0].Name() != "total" || q.Items[1].Name() != "n" {
+		t.Errorf("aliases = %q, %q", q.Items[0].Name(), q.Items[1].Name())
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q, err := ParseSQL("SELECT COUNT(*) FROM t WHERE s = 'it''s'", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := q.Where.(*Cmp)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	if c.R.(*Const).Str != "it's" {
+		t.Errorf("escaped string = %q", c.R.(*Const).Str)
+	}
+}
+
+func TestParseNotLike(t *testing.T) {
+	q, err := ParseSQL("SELECT COUNT(*) FROM t WHERE s NOT LIKE '%x%'", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := q.Where.(*Like)
+	if !ok || !l.Negate {
+		t.Errorf("where = %v", q.Where)
+	}
+}
+
+func TestParseGroupByMulti(t *testing.T) {
+	q, err := ParseSQL("SELECT s, a, COUNT(*) FROM t GROUP BY s, a", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 2 {
+		t.Errorf("group-by exprs = %d", len(q.GroupBy))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",              // missing FROM
+		"SELECT a FROM",         // missing table
+		"SELECT a FROM t b",     // trailing tokens
+		"SELECT nope FROM t",    // unknown column
+		"SELECT a FROM t WHERE", // missing predicate
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t GROUP a",             // missing BY
+		"SELECT SUM(a FROM t",                 // unbalanced paren
+		"SELECT a FROM t WHERE s LIKE 5",      // non-string pattern
+		"SELECT a + s FROM t",                 // string arithmetic
+		"SELECT a FROM t WHERE a = 'x'",       // type mismatch
+		"SELECT 'abc FROM t",                  // unterminated string
+		"SELECT a ! b FROM t",                 // bad operator
+		"SELECT a FROM t WHERE a AND b = 1 @", // bad char
+		"SELECT b, SUM(a) FROM t",             // bare column with aggregate
+		"SELECT a FROM t LIMIT 1.5",           // fractional limit is a float token... parser expects int
+	}
+	for _, sql := range bad {
+		if _, err := ParseSQL(sql, testSch); err == nil {
+			t.Errorf("ParseSQL(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseColumnNamedLikeAggregate(t *testing.T) {
+	// A schema whose column is literally "sum": without parens it must be
+	// treated as a column reference.
+	schSum := schema.MustNew(schema.Column{Name: "sum", Type: schema.Int64})
+	q, err := ParseSQL("SELECT sum FROM t LIMIT 1", schSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Items[0].Agg != AggNone {
+		t.Errorf("bare 'sum' treated as aggregate: %+v", q.Items[0])
+	}
+}
+
+func TestParseLimitZeroRejectedAsNegativeEtc(t *testing.T) {
+	q, err := ParseSQL("SELECT a FROM t LIMIT 0", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit != 0 {
+		t.Errorf("LIMIT 0 = %d", q.Limit)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q, err := ParseSQL("SELECT * FROM t WHERE a > 1 LIMIT 2", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != testSch.NumColumns() {
+		t.Fatalf("items = %d, want %d", len(q.Items), testSch.NumColumns())
+	}
+	for i, it := range q.Items {
+		if it.Expr.String() != testSch.Column(i).Name {
+			t.Errorf("item %d = %q", i, it.Expr.String())
+		}
+	}
+	// Mixed star and expression.
+	q2, err := ParseSQL("SELECT *, a+b AS total FROM t LIMIT 1", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.Items) != testSch.NumColumns()+1 {
+		t.Errorf("mixed items = %d", len(q2.Items))
+	}
+	// Star with aggregates fails validation (bare columns not grouped).
+	if _, err := ParseSQL("SELECT *, COUNT(*) FROM t", testSch); err == nil {
+		t.Error("star with aggregate should fail validation")
+	}
+}
+
+func TestParseFloatLiteral(t *testing.T) {
+	q, err := ParseSQL("SELECT COUNT(*) FROM t WHERE f >= 1.25", testSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := q.Where.(*Cmp)
+	if c.R.(*Const).Float != 1.25 {
+		t.Errorf("float literal = %v", c.R.(*Const).Float)
+	}
+}

@@ -1,0 +1,114 @@
+// Package gen produces the synthetic datasets of the paper's experimental
+// evaluation (§5.1): delimiter-separated files of R rows by C columns where
+// every value is a pseudo-random unsigned integer below 2^31, "modeled based
+// on [NoDB, invisible loading]".
+//
+// Generation is deterministic: Value(spec, row, col) is a pure function, so
+// tests and benchmarks can compute expected query answers (sums, minima,
+// selectivities) without re-reading the generated file.
+package gen
+
+import (
+	"strconv"
+
+	"scanraw/internal/schema"
+	"scanraw/internal/vdisk"
+)
+
+// CSVSpec describes one file of the synthetic suite.
+type CSVSpec struct {
+	// Rows and Cols give the file dimensions. The paper's suite spans
+	// 2^20–2^28 rows by 2–256 columns; reproductions scale Rows down.
+	Rows int
+	Cols int
+	// Seed selects the pseudo-random stream.
+	Seed uint64
+	// Delim is the field separator; 0 defaults to ','.
+	Delim byte
+	// MaxValue bounds values (exclusive); 0 defaults to 2^31 as in the
+	// paper.
+	MaxValue int64
+}
+
+func (s CSVSpec) delim() byte {
+	if s.Delim == 0 {
+		return ','
+	}
+	return s.Delim
+}
+
+func (s CSVSpec) maxValue() int64 {
+	if s.MaxValue == 0 {
+		return 1 << 31
+	}
+	return s.MaxValue
+}
+
+// Schema returns the relation schema of the generated file: Cols integer
+// columns named c0..c{Cols-1}.
+func (s CSVSpec) Schema() *schema.Schema {
+	sch, err := schema.Uniform(s.Cols, schema.Int64, "c")
+	if err != nil {
+		panic(err) // unreachable for Cols >= 1; generation validates first
+	}
+	return sch
+}
+
+// splitmix64 is the SplitMix64 output function — a high-quality, allocation
+// free mixer used to derive each cell value independently.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Value returns the deterministic cell value at (row, col).
+func Value(s CSVSpec, row, col int) int64 {
+	h := splitmix64(s.Seed ^ splitmix64(uint64(row)*0x100000001b3+uint64(col)))
+	return int64(h % uint64(s.maxValue()))
+}
+
+// SumRange returns the exact sum of columns cols over rows [lo, hi).
+// It mirrors the paper's benchmark query SELECT SUM(c_i1 + ... + c_iK).
+func SumRange(s CSVSpec, cols []int, lo, hi int) int64 {
+	var total int64
+	for r := lo; r < hi; r++ {
+		for _, c := range cols {
+			total += Value(s, r, c)
+		}
+	}
+	return total
+}
+
+// AppendRow appends the textual form of row r to dst and returns the
+// extended slice.
+func AppendRow(dst []byte, s CSVSpec, r int) []byte {
+	d := s.delim()
+	for c := 0; c < s.Cols; c++ {
+		if c > 0 {
+			dst = append(dst, d)
+		}
+		dst = strconv.AppendInt(dst, Value(s, r, c), 10)
+	}
+	return append(dst, '\n')
+}
+
+// Bytes materializes the whole file in memory.
+func Bytes(s CSVSpec) []byte {
+	// Estimate ~7 bytes per value plus separator.
+	est := s.Rows * s.Cols * 8
+	out := make([]byte, 0, est)
+	for r := 0; r < s.Rows; r++ {
+		out = AppendRow(out, s, r)
+	}
+	return out
+}
+
+// Preload materializes the file and installs it on the disk under name,
+// bypassing throttling (experiment setup). It returns the file size.
+func Preload(d *vdisk.Disk, name string, s CSVSpec) int64 {
+	data := Bytes(s)
+	d.Preload(name, data)
+	return int64(len(data))
+}

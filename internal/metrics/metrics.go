@@ -1,0 +1,128 @@
+// Package metrics samples CPU (worker-busy) and I/O (disk-busy)
+// utilization over time, reproducing the measurement behind the paper's
+// Fig. 9: "CPU and I/O utilization as processing progresses", where CPU
+// utilization is reported in percent-of-one-core units (800 = 8 busy
+// workers) and I/O utilization as the fraction of wall-clock time the disk
+// was servicing a transfer.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scanraw/internal/vdisk"
+)
+
+// BusyCounter accumulates the total busy time of a set of workers. Workers
+// bracket their task execution with Track; the tracer differentiates the
+// cumulative total to get utilization per interval.
+type BusyCounter struct {
+	ns atomic.Int64
+}
+
+// Add records d of busy time.
+func (b *BusyCounter) Add(d time.Duration) {
+	if d > 0 {
+		b.ns.Add(int64(d))
+	}
+}
+
+// Track runs fn and accounts its wall-clock duration as busy time.
+func (b *BusyCounter) Track(fn func()) {
+	start := time.Now()
+	fn()
+	b.Add(time.Since(start))
+}
+
+// Total returns cumulative busy time.
+func (b *BusyCounter) Total() time.Duration { return time.Duration(b.ns.Load()) }
+
+// Sample is one utilization measurement.
+type Sample struct {
+	// At is the elapsed time since the trace started.
+	At time.Duration
+	// Progress is the externally supplied processing progress in [0,1].
+	Progress float64
+	// CPUPercent is worker busy time over the interval, in percent of one
+	// core (N fully busy workers report N*100).
+	CPUPercent float64
+	// IOPercent is the fraction of the interval the disk was busy, split
+	// into read and write components.
+	IOPercent    float64
+	ReadPercent  float64
+	WritePercent float64
+}
+
+// Tracer periodically samples a disk and a busy counter.
+type Tracer struct {
+	disk     *vdisk.Disk
+	cpu      *BusyCounter
+	interval time.Duration
+	progress func() float64
+
+	mu      sync.Mutex
+	samples []Sample
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewTracer builds a tracer sampling every interval. progress may be nil.
+func NewTracer(d *vdisk.Disk, cpu *BusyCounter, interval time.Duration, progress func() float64) *Tracer {
+	if progress == nil {
+		progress = func() float64 { return 0 }
+	}
+	return &Tracer{disk: d, cpu: cpu, interval: interval, progress: progress}
+}
+
+// Start begins sampling in a background goroutine.
+func (t *Tracer) Start() {
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	go t.run()
+}
+
+func (t *Tracer) run() {
+	defer close(t.done)
+	start := time.Now()
+	lastDisk := t.disk.Stats()
+	lastCPU := t.cpu.Total()
+	lastAt := start
+	ticker := time.NewTicker(t.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case now := <-ticker.C:
+			dt := now.Sub(lastAt)
+			if dt <= 0 {
+				continue
+			}
+			disk := t.disk.Stats()
+			cpu := t.cpu.Total()
+			d := disk.Sub(lastDisk)
+			s := Sample{
+				At:           now.Sub(start),
+				Progress:     t.progress(),
+				CPUPercent:   100 * float64(cpu-lastCPU) / float64(dt),
+				ReadPercent:  100 * float64(d.ReadBusy) / float64(dt),
+				WritePercent: 100 * float64(d.WriteBusy) / float64(dt),
+			}
+			s.IOPercent = s.ReadPercent + s.WritePercent
+			t.mu.Lock()
+			t.samples = append(t.samples, s)
+			t.mu.Unlock()
+			lastDisk, lastCPU, lastAt = disk, cpu, now
+		}
+	}
+}
+
+// Stop ends sampling and returns the collected samples.
+func (t *Tracer) Stop() []Sample {
+	close(t.stop)
+	<-t.done
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Sample(nil), t.samples...)
+}

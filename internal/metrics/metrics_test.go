@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"scanraw/internal/vdisk"
+)
+
+func TestBusyCounter(t *testing.T) {
+	var b BusyCounter
+	b.Add(10 * time.Millisecond)
+	b.Add(5 * time.Millisecond)
+	b.Add(-3 * time.Millisecond) // negative ignored
+	if got := b.Total(); got != 15*time.Millisecond {
+		t.Errorf("Total = %v, want 15ms", got)
+	}
+}
+
+func TestBusyCounterTrack(t *testing.T) {
+	var b BusyCounter
+	b.Track(func() { time.Sleep(20 * time.Millisecond) })
+	if got := b.Total(); got < 15*time.Millisecond {
+		t.Errorf("Track accounted %v, want >= ~20ms", got)
+	}
+}
+
+func TestBusyCounterConcurrent(t *testing.T) {
+	var b BusyCounter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Add(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Total(); got != 1000*time.Microsecond {
+		t.Errorf("Total = %v, want 1ms", got)
+	}
+}
+
+func TestTracerCapturesActivity(t *testing.T) {
+	d := vdisk.New(vdisk.Config{ReadBandwidth: 10 << 20})
+	d.Preload("f", make([]byte, 2<<20))
+	var cpu BusyCounter
+	progress := 0.0
+	var mu sync.Mutex
+	tr := NewTracer(d, &cpu, 10*time.Millisecond, func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return progress
+	})
+	tr.Start()
+
+	// Generate disk + CPU activity for ~200ms.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := d.ReadBlob("f"); err != nil { // ~200ms at 10MB/s
+			t.Error(err)
+		}
+		mu.Lock()
+		progress = 1.0
+		mu.Unlock()
+	}()
+	go cpu.Track(func() { time.Sleep(100 * time.Millisecond) })
+	<-done
+	time.Sleep(30 * time.Millisecond)
+	samples := tr.Stop()
+
+	if len(samples) < 5 {
+		t.Fatalf("got %d samples, want several", len(samples))
+	}
+	var sawIO, sawCPU bool
+	for _, s := range samples {
+		if s.ReadPercent > 50 {
+			sawIO = true
+		}
+		if s.CPUPercent > 50 {
+			sawCPU = true
+		}
+		if s.IOPercent != s.ReadPercent+s.WritePercent {
+			t.Errorf("IOPercent %v != read %v + write %v", s.IOPercent, s.ReadPercent, s.WritePercent)
+		}
+	}
+	if !sawIO {
+		t.Error("tracer never observed disk busy")
+	}
+	if !sawCPU {
+		t.Error("tracer never observed CPU busy")
+	}
+	if last := samples[len(samples)-1]; last.Progress != 1.0 {
+		t.Errorf("final progress = %v", last.Progress)
+	}
+	// Samples are time-ordered.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At <= samples[i-1].At {
+			t.Errorf("samples out of order at %d", i)
+		}
+	}
+}
+
+func TestTracerNilProgress(t *testing.T) {
+	d := vdisk.Unlimited()
+	var cpu BusyCounter
+	tr := NewTracer(d, &cpu, 5*time.Millisecond, nil)
+	tr.Start()
+	time.Sleep(25 * time.Millisecond)
+	samples := tr.Stop()
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, s := range samples {
+		if s.Progress != 0 {
+			t.Errorf("nil progress should report 0, got %v", s.Progress)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package parse
+
+import (
+	"testing"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/gen"
+	"scanraw/internal/tok"
+)
+
+func benchChunk(b *testing.B, cols int) (*chunk.TextChunk, *chunk.PositionalMap, *Parser, []int) {
+	b.Helper()
+	spec := gen.CSVSpec{Rows: 2048, Cols: cols, Seed: 1}
+	data := gen.Bytes(spec)
+	tc := &chunk.TextChunk{Data: data, Lines: spec.Rows}
+	tk := &tok.Tokenizer{Delim: ',', MinFields: cols}
+	pm, err := tk.Tokenize(tc, cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := make([]int, cols)
+	for i := range idx {
+		idx[i] = i
+	}
+	return tc, pm, &Parser{Schema: spec.Schema()}, idx
+}
+
+// BenchmarkParseChunk64 measures PARSE throughput on the paper's reference
+// 64-column shape.
+func BenchmarkParseChunk64(b *testing.B) {
+	tc, pm, p, idx := benchChunk(b, 64)
+	b.SetBytes(int64(len(tc.Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Parse(tc, pm, idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseSelective4of64 measures selective parsing of 4 columns.
+func BenchmarkParseSelective4of64(b *testing.B) {
+	tc, pm, p, _ := benchChunk(b, 64)
+	b.SetBytes(int64(len(tc.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Parse(tc, pm, []int{0, 1, 2, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseInt measures the hot atoi conversion.
+func BenchmarkParseInt(b *testing.B) {
+	inputs := [][]byte{
+		[]byte("0"), []byte("42"), []byte("123456789"),
+		[]byte("2147483647"), []byte("-987654321"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseInt(inputs[i%len(inputs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,713 @@
+package scanraw
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/dbstore"
+)
+
+// hookRun is a test-only observation point invoked with the pipeline state
+// just before the stage goroutines start.
+var hookRun func(*run)
+
+// posItem is the unit flowing through the position buffer: a text chunk
+// plus its positional map computed by TOKENIZE.
+type posItem struct {
+	tc *chunk.TextChunk
+	pm *chunk.PositionalMap
+}
+
+// run holds the per-query pipeline state: the buffers (bounded channels
+// with slot semaphores), the worker pool, and the scheduler signals.
+type run struct {
+	op  *Operator
+	req Request
+
+	upTo int // attributes to tokenize: max required ordinal + 1
+
+	done    chan struct{} // closed on first error
+	errOnce sync.Once
+	runErr  error
+
+	freeText  chan struct{} // free slots of the text chunks buffer
+	textBuf   chan *chunk.TextChunk
+	freePos   chan struct{} // free slots of the position buffer
+	posBuf    chan posItem
+	freeBin   chan struct{} // undelivered-chunk budget of the binary cache
+	deliverCh chan *BinaryChunk
+
+	workers chan *workerSlot // worker-pool semaphore
+	seqSlot *workerSlot      // the implicit worker of sequential mode
+
+	readBlocked  atomic.Bool
+	readDone     atomic.Bool
+	readFinished chan struct{} // closed when READ exits
+	specNotify   chan struct{} // pokes the speculative scheduler
+	finish       chan struct{} // closed at teardown; stops the scheduler
+
+	tokWG    sync.WaitGroup
+	parseWG  sync.WaitGroup
+	schedWG  sync.WaitGroup
+	writeWG  sync.WaitGroup
+	convDone chan struct{} // closed when every conversion task finished
+
+	writeQ chan *BinaryChunk // FullLoad write queue
+
+	cacheMu   sync.Mutex
+	cacheCond *sync.Cond
+
+	invisibleLeft atomic.Int64
+
+	written      atomic.Int64 // chunks this run loaded into the database
+	deliveredDB  atomic.Int64
+	deliveredRaw atomic.Int64
+	skipped      atomic.Int64
+
+	blocked blockedTimer // READ time lost to a full text buffer
+}
+
+func (r *run) fail(err error) {
+	if err == nil {
+		return
+	}
+	r.errOnce.Do(func() {
+		r.runErr = err
+		close(r.done)
+		r.cacheMu.Lock()
+		r.cacheCond.Broadcast()
+		r.cacheMu.Unlock()
+	})
+}
+
+func (r *run) failed() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *run) poke() {
+	select {
+	case r.specNotify <- struct{}{}:
+	default:
+	}
+}
+
+// runWrite loads one chunk and accounts it to this run.
+func (r *run) runWrite(bc *BinaryChunk) error {
+	if err := r.op.writeChunk(bc); err != nil {
+		return err
+	}
+	r.written.Add(1)
+	return nil
+}
+
+func validateRequest(req Request, ncols int) error {
+	if req.Deliver == nil {
+		return fmt.Errorf("scanraw: request needs a Deliver callback")
+	}
+	if len(req.Columns) == 0 {
+		return fmt.Errorf("scanraw: request selects no columns")
+	}
+	if !sort.IntsAreSorted(req.Columns) {
+		return fmt.Errorf("scanraw: request columns must be sorted ascending")
+	}
+	for _, c := range req.Columns {
+		if c < 0 || c >= ncols {
+			return fmt.Errorf("scanraw: column ordinal %d out of range [0,%d)", c, ncols)
+		}
+	}
+	return nil
+}
+
+// Run executes one query over the raw file: it delivers every chunk of the
+// file (via cache, database, or raw conversion) to req.Deliver exactly
+// once, loading data along the way according to the write policy.
+func (o *Operator) Run(req Request) (RunStats, error) {
+	o.runMu.Lock()
+	defer o.runMu.Unlock()
+
+	var st RunStats
+	if err := validateRequest(req, o.table.Schema().NumColumns()); err != nil {
+		return st, err
+	}
+	start := time.Now()
+	prof0 := o.prof.snapshot()
+	disk0 := o.disk.Stats()
+
+	// Phase 1: deliver cached chunks first (§3.2.1 delivery order). The
+	// previous query's safeguard flush may still be writing — that is
+	// fine, cached delivery needs no disk.
+	delivered := make(map[int]bool)
+	for _, id := range o.cache.IDs() {
+		bc := o.cache.Get(id)
+		if bc == nil || !bc.HasAll(req.Columns) {
+			continue
+		}
+		if req.Skip != nil {
+			if meta, ok := o.table.Chunk(id); ok && req.Skip(meta) {
+				delivered[id] = true
+				st.SkippedChunks++
+				continue
+			}
+		}
+		if err := req.Deliver(bc); err != nil {
+			return st, err
+		}
+		delivered[id] = true
+		st.DeliveredCache++
+	}
+
+	// Disk reads must wait for the previous safeguard flush (§4).
+	o.flushWG.Wait()
+
+	workers := o.workers
+	var err error
+	var r *run
+	if workers == 0 {
+		r, err = o.runSequential(req, delivered)
+	} else {
+		r, err = o.runParallel(req, delivered, workers)
+	}
+	if r != nil {
+		st.DeliveredDB = int(r.deliveredDB.Load())
+		st.DeliveredRaw = int(r.deliveredRaw.Load())
+		st.SkippedChunks += int(r.skipped.Load())
+		st.WrittenDuringRun = int(r.written.Load())
+		st.WorkersUsed = workers
+		st.ReadBlocked = r.blocked.total()
+	}
+
+	// Safeguard: flush the cache's unloaded chunks in the background; the
+	// next query's disk reads wait for it.
+	if err == nil && o.cfg.Safeguard &&
+		(o.cfg.Policy == Speculative || o.cfg.Policy == BufferedLoad) {
+		ids := o.cache.UnloadedIDs()
+		st.FlushedAfterRun = len(ids)
+		if len(ids) > 0 {
+			o.flushWG.Add(1)
+			go func() {
+				defer o.flushWG.Done()
+				for _, id := range ids {
+					if o.cache.IsLoaded(id) {
+						continue
+					}
+					bc := o.cache.Peek(id)
+					if bc == nil {
+						continue
+					}
+					if werr := o.writeChunk(bc); werr != nil {
+						o.setFlushErr(werr)
+						return
+					}
+				}
+			}()
+		}
+	}
+	if err == nil {
+		err = o.takeFlushErr()
+	}
+
+	st.Duration = time.Since(start)
+	st.Profile = o.prof.snapshot().Sub(prof0)
+	diskDelta := o.disk.Stats().Sub(disk0)
+	st.DiskReadBytes = diskDelta.ReadBytes
+	st.DiskWriteBytes = diskDelta.WriteBytes
+	if err == nil {
+		o.adaptWorkers(ResourceReport{
+			Workers:     workers,
+			ReadBlocked: st.ReadBlocked,
+			Duration:    st.Duration,
+		})
+	}
+	return st, err
+}
+
+// flushErr propagation: a failed background flush surfaces on the next Run.
+func (o *Operator) setFlushErr(err error) {
+	o.flushErrMu.Lock()
+	if o.flushErr == nil {
+		o.flushErr = err
+	}
+	o.flushErrMu.Unlock()
+}
+
+func (o *Operator) takeFlushErr() error {
+	o.flushErrMu.Lock()
+	defer o.flushErrMu.Unlock()
+	err := o.flushErr
+	o.flushErr = nil
+	return err
+}
+
+// runParallel executes the super-scalar pipeline with the given worker
+// pool size.
+func (o *Operator) runParallel(req Request, delivered map[int]bool, workers int) (*run, error) {
+	r := &run{
+		op:           o,
+		req:          req,
+		upTo:         req.Columns[len(req.Columns)-1] + 1,
+		done:         make(chan struct{}),
+		freeText:     make(chan struct{}, o.cfg.TextBufferChunks),
+		textBuf:      make(chan *chunk.TextChunk, o.cfg.TextBufferChunks),
+		freePos:      make(chan struct{}, o.cfg.PositionBufferChunks),
+		posBuf:       make(chan posItem, o.cfg.PositionBufferChunks),
+		freeBin:      make(chan struct{}, o.cfg.CacheChunks),
+		deliverCh:    make(chan *BinaryChunk, o.cfg.CacheChunks),
+		workers:      make(chan *workerSlot, workers),
+		readFinished: make(chan struct{}),
+		specNotify:   make(chan struct{}, 1),
+		finish:       make(chan struct{}),
+		convDone:     make(chan struct{}),
+	}
+	r.cacheCond = sync.NewCond(&r.cacheMu)
+	r.invisibleLeft.Store(int64(o.cfg.InvisibleChunksPerQuery))
+	for i := 0; i < o.cfg.TextBufferChunks; i++ {
+		r.freeText <- struct{}{}
+	}
+	for i := 0; i < o.cfg.PositionBufferChunks; i++ {
+		r.freePos <- struct{}{}
+	}
+	for i := 0; i < o.cfg.CacheChunks; i++ {
+		r.freeBin <- struct{}{}
+	}
+	for i := 0; i < workers; i++ {
+		r.workers <- &workerSlot{}
+	}
+	if o.cfg.Policy == FullLoad {
+		r.writeQ = make(chan *BinaryChunk, o.cfg.CacheChunks)
+		r.writeWG.Add(1)
+		go r.writeLoop()
+	}
+	if o.cfg.Policy == Speculative {
+		r.schedWG.Add(1)
+		go r.scheduler()
+	}
+	if hookRun != nil {
+		hookRun(r)
+	}
+	go r.tokenizeConsumer()
+	go r.parseConsumer()
+	go func() {
+		r.fail(r.readLoop(delivered))
+		r.readDone.Store(true)
+		close(r.textBuf)
+		close(r.readFinished)
+		r.poke()
+	}()
+	// Closer: once every conversion has finished (which implies READ has
+	// finished), no more deliveries can be produced.
+	go func() {
+		<-r.convDone
+		close(r.deliverCh)
+	}()
+
+	// Delivery loop (the execution engine's feed) runs on this goroutine.
+	var deliverErr error
+	for bc := range r.deliverCh {
+		if deliverErr == nil && !r.failed() {
+			deliverErr = req.Deliver(bc)
+			if deliverErr != nil {
+				r.fail(deliverErr)
+			}
+		}
+		if err := o.cache.Unpin(bc.ID); err != nil {
+			r.fail(err)
+		}
+		r.freeBin <- struct{}{} // undelivered-chunk budget freed
+		r.cacheMu.Lock()
+		r.cacheCond.Broadcast()
+		r.cacheMu.Unlock()
+		r.poke()
+	}
+
+	// Teardown.
+	close(r.finish)
+	r.schedWG.Wait()
+	r.writeWG.Wait()
+	return r, r.runErr
+}
+
+// readLoop is the READ thread (§3.2.1): it walks the file in chunk order,
+// skipping chunks already delivered from the cache or excluded by
+// statistics, reading loaded chunks from the database directly into the
+// binary buffer, and producing text chunks for the rest. On first contact
+// with the file it discovers chunk boundaries and registers them in the
+// catalog.
+func (r *run) readLoop(delivered map[int]bool) error {
+	o := r.op
+	sc := newRawScanner(o, o.table.RawFile())
+	id := 0
+	var off int64
+	for {
+		if r.failed() {
+			return nil
+		}
+		meta, known := o.table.Chunk(id)
+		if known {
+			next := off + meta.RawLen
+			switch {
+			case delivered[id]:
+				// Already served from the cache in phase 1.
+			case r.req.Skip != nil && r.req.Skip(meta):
+				r.skipped.Add(1)
+			case meta.LoadedAll(r.req.Columns):
+				// Binary-buffer space first, mirroring the PARSE rule.
+				select {
+				case <-r.freeBin:
+				case <-r.done:
+					return nil
+				}
+				bc, err := o.dbRead(id, r.req.Columns)
+				if err != nil {
+					r.freeBin <- struct{}{}
+					return err
+				}
+				if !r.putPinnedWait(bc, true) {
+					r.freeBin <- struct{}{}
+					return nil
+				}
+				select {
+				case r.deliverCh <- bc:
+					r.deliveredDB.Add(1)
+				case <-r.done:
+					_ = o.cache.Unpin(bc.ID)
+					r.freeBin <- struct{}{}
+					return nil
+				}
+			default:
+				data, err := sc.readExtent(off, meta.RawLen)
+				if err != nil {
+					return err
+				}
+				o.prof.readChunks.Add(1)
+				tc := &chunk.TextChunk{ID: id, Data: data, Lines: meta.Rows}
+				if !r.sendText(tc) {
+					return nil
+				}
+			}
+			id++
+			off = next
+			continue
+		}
+		// Discovery: carve the next chunk out of the byte stream.
+		sc.seek(off)
+		data, lines, err := sc.next(o.cfg.ChunkLines)
+		if err != nil {
+			return err
+		}
+		if lines == 0 {
+			break // end of file
+		}
+		o.prof.readChunks.Add(1)
+		if err := o.table.EnsureChunk(id, lines, off, int64(len(data))); err != nil {
+			return err
+		}
+		tc := &chunk.TextChunk{ID: id, Data: data, Lines: lines}
+		if !r.sendText(tc) {
+			return nil
+		}
+		off += int64(len(data))
+		id++
+	}
+	o.table.SetComplete()
+	return nil
+}
+
+// sendText places a text chunk into the text chunks buffer, recording the
+// blocked state the speculative scheduler watches for. It reports false
+// when the run failed.
+func (r *run) sendText(tc *chunk.TextChunk) bool {
+	select {
+	case <-r.freeText:
+	default:
+		// Buffer full: READ blocks — the disk goes idle, which is the
+		// speculative loading trigger (§4) and the CPU-bound signal the
+		// resource manager consumes (§3.3).
+		start := time.Now()
+		r.readBlocked.Store(true)
+		r.poke()
+		select {
+		case <-r.freeText:
+		case <-r.done:
+			r.readBlocked.Store(false)
+			r.blocked.add(time.Since(start))
+			return false
+		}
+		r.readBlocked.Store(false)
+		r.blocked.add(time.Since(start))
+	}
+	select {
+	case r.textBuf <- tc:
+		return true
+	case <-r.done:
+		return false
+	}
+}
+
+// tokenizeConsumer monitors the text chunks buffer, acquiring destination
+// space and a worker for each chunk (§3.2.1, consumer threads).
+func (r *run) tokenizeConsumer() {
+	for tc := range r.textBuf {
+		// Chunk extracted: its slot frees, allowing READ to produce.
+		r.freeText <- struct{}{}
+		if r.failed() {
+			continue
+		}
+		// Destination space before worker (§3.2.1: "even if a thread is
+		// available, it can only be allocated if there is empty space in
+		// the destination buffer").
+		select {
+		case <-r.freePos:
+		case <-r.done:
+			continue
+		}
+		var slot *workerSlot
+		select {
+		case slot = <-r.workers:
+		case <-r.done:
+			r.freePos <- struct{}{}
+			continue
+		}
+		r.tokWG.Add(1)
+		go r.tokenizeTask(tc, slot)
+	}
+	r.tokWG.Wait()
+	close(r.posBuf)
+}
+
+func (r *run) tokenizeTask(tc *chunk.TextChunk, slot *workerSlot) {
+	defer r.tokWG.Done()
+	o := r.op
+	pm, err := o.tokenizeChunk(slot, tc, r.upTo)
+	r.workers <- slot // release the worker
+	if err != nil {
+		r.fail(err)
+		r.freePos <- struct{}{}
+		return
+	}
+	select {
+	case r.posBuf <- posItem{tc: tc, pm: pm}:
+	case <-r.done:
+		r.freePos <- struct{}{}
+	}
+}
+
+// parseConsumer monitors the position buffer. A parse task is dispatched
+// only when the binary chunks cache can hold one more undelivered chunk
+// (§3.2.1: "a request from the PARSE consumer can be accomplished only if
+// there is empty space in the binary chunks buffer") — this is the
+// back-pressure that propagates to READ and creates the disk-idle windows
+// speculative loading exploits.
+func (r *run) parseConsumer() {
+	for item := range r.posBuf {
+		r.freePos <- struct{}{}
+		if r.failed() {
+			continue
+		}
+		select {
+		case <-r.freeBin:
+		case <-r.done:
+			continue
+		}
+		var slot *workerSlot
+		select {
+		case slot = <-r.workers:
+		case <-r.done:
+			r.freeBin <- struct{}{}
+			continue
+		}
+		r.parseWG.Add(1)
+		go r.parseTask(item, slot)
+	}
+	r.parseWG.Wait()
+	if r.writeQ != nil {
+		close(r.writeQ)
+	}
+	close(r.convDone)
+}
+
+func (r *run) parseTask(item posItem, slot *workerSlot) {
+	defer r.parseWG.Done()
+	o := r.op
+	var bc *BinaryChunk
+	var err error
+	d := o.cpuWork(slot, func() { bc, err = o.parser.Parse(item.tc, item.pm, r.req.Columns) })
+	o.prof.parseNs.Add(int64(d))
+	r.workers <- slot
+	if err != nil {
+		r.fail(err)
+		r.freeBin <- struct{}{}
+		return
+	}
+	o.prof.parseChunks.Add(1)
+	if o.cfg.CollectStats {
+		if err := r.recordStats(bc); err != nil {
+			r.fail(err)
+			r.freeBin <- struct{}{}
+			return
+		}
+	}
+	loaded := false
+	// Invisible loading: write the first K converted chunks inline, even
+	// though it stalls this worker — the defining cost of the baseline.
+	if o.cfg.Policy == Invisible && r.invisibleLeft.Add(-1) >= 0 {
+		if err := r.runWrite(bc); err != nil {
+			r.fail(err)
+			r.freeBin <- struct{}{}
+			return
+		}
+		loaded = true
+	}
+	evicted, evictedLoaded, ok := r.putPinnedWaitEv(bc, loaded)
+	if !ok {
+		r.freeBin <- struct{}{}
+		return
+	}
+	if o.cfg.Policy == BufferedLoad && evicted != nil && !evictedLoaded {
+		if err := r.runWrite(evicted); err != nil {
+			r.fail(err)
+			_ = o.cache.Unpin(bc.ID)
+			r.freeBin <- struct{}{}
+			return
+		}
+	}
+	if o.cfg.Policy == FullLoad {
+		select {
+		case r.writeQ <- bc:
+		case <-r.done:
+			_ = o.cache.Unpin(bc.ID)
+			r.freeBin <- struct{}{}
+			return
+		}
+	}
+	select {
+	case r.deliverCh <- bc:
+		r.deliveredRaw.Add(1)
+		r.poke() // cache gained a chunk: wake the speculative scheduler
+	case <-r.done:
+		_ = o.cache.Unpin(bc.ID)
+		r.freeBin <- struct{}{}
+	}
+}
+
+func (r *run) recordStats(bc *BinaryChunk) error {
+	for _, c := range r.req.Columns {
+		v := bc.Column(c)
+		if v == nil {
+			continue
+		}
+		if err := r.op.table.SetStats(bc.ID, c, dbstore.CollectStats(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// putPinnedWait inserts a chunk into the binary cache with a delivery pin,
+// blocking while the cache is full of pinned (undelivered) chunks — the
+// back-pressure that ultimately stops READ (§3.1, pre-fetching). It
+// reports false when the run failed.
+func (r *run) putPinnedWait(bc *BinaryChunk, loaded bool) bool {
+	_, _, ok := r.putPinnedWaitEv(bc, loaded)
+	return ok
+}
+
+func (r *run) putPinnedWaitEv(bc *BinaryChunk, loaded bool) (*BinaryChunk, bool, bool) {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	for {
+		if r.failed() {
+			return nil, false, false
+		}
+		evicted, evLoaded, ok := r.op.cache.PutPinned(bc, loaded)
+		if ok {
+			return evicted, evLoaded, true
+		}
+		r.cacheCond.Wait()
+	}
+}
+
+// writeLoop is the WRITE thread under the FullLoad policy: it stores every
+// converted chunk, overlapping with conversion and query processing.
+func (r *run) writeLoop() {
+	defer r.writeWG.Done()
+	for bc := range r.writeQ {
+		if r.failed() {
+			continue
+		}
+		if err := r.runWrite(bc); err != nil {
+			r.fail(err)
+		}
+	}
+}
+
+// scheduler implements speculative loading (§4): whenever READ is blocked
+// on a full text buffer — or has finished and the safeguard is active —
+// the disk is idle, so write the oldest unloaded cached chunk. Writing
+// stops the moment READ wants the disk back.
+func (r *run) scheduler() {
+	defer r.schedWG.Done()
+	o := r.op
+	for {
+		select {
+		case <-r.specNotify:
+		case <-r.finish:
+			return
+		case <-r.done:
+			return
+		}
+		for r.writableNow() {
+			bc := o.cache.OldestUnloaded()
+			if bc == nil {
+				break
+			}
+			if err := r.runWrite(bc); err != nil {
+				r.fail(err)
+				return
+			}
+			select {
+			case <-r.finish:
+				return
+			case <-r.done:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// writableNow reports whether the disk is idle from READ's perspective:
+// READ blocked on a full buffer, or — when the safeguard is active — READ
+// finished the scan.
+func (r *run) writableNow() bool {
+	if r.failed() {
+		return false
+	}
+	if r.readBlocked.Load() {
+		return true
+	}
+	return r.op.cfg.Safeguard && r.readDone.Load()
+}
+
+// dbRead reads a loaded chunk's columns from the database through the disk
+// arbiter (no tokenizing, no parsing).
+func (o *Operator) dbRead(id int, cols []int) (*BinaryChunk, error) {
+	o.arbiter.Lock()
+	start := time.Now()
+	bc, err := o.store.ReadChunk(o.table, id, cols)
+	o.prof.readNs.Add(int64(time.Since(start)))
+	o.arbiter.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	o.prof.readChunks.Add(1)
+	return bc, nil
+}

@@ -1,0 +1,211 @@
+package scanraw
+
+import (
+	"sync"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/engine"
+	"scanraw/internal/schema"
+)
+
+// Registry holds the live SCANRAW operators, one per raw file. When a new
+// query arrives the execution engine first checks for an existing operator
+// and connects it to the plan; only otherwise is one created. An operator
+// whose file is completely loaded is deleted — the table has become an
+// ordinary database table (§3.3).
+type Registry struct {
+	store *dbstore.Store
+
+	mu  sync.Mutex
+	ops map[string]*Operator
+}
+
+// NewRegistry creates an empty operator registry over a store.
+func NewRegistry(store *dbstore.Store) *Registry {
+	return &Registry{store: store, ops: make(map[string]*Operator)}
+}
+
+// Operator returns the live operator for the table, creating one with cfg
+// if none exists. The configuration of an existing operator is not
+// changed.
+func (r *Registry) Operator(table *dbstore.Table, cfg Config) *Operator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if op, ok := r.ops[table.RawFile()]; ok {
+		return op
+	}
+	op := New(r.store, table, cfg)
+	r.ops[table.RawFile()] = op
+	return op
+}
+
+// Lookup returns the live operator for a raw file, if any.
+func (r *Registry) Lookup(rawFile string) (*Operator, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op, ok := r.ops[rawFile]
+	return op, ok
+}
+
+// Sweep deletes operators whose raw file is completely loaded into the
+// database; their state (cache, buffers) is no longer useful because every
+// future query is a plain heap scan. It returns how many were deleted.
+func (r *Registry) Sweep() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for key, op := range r.ops {
+		op.WaitIdle()
+		if op.Table().FullyLoaded() {
+			delete(r.ops, key)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of live operators.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// ExecuteQuery runs a bound query through the operator and returns its
+// result set: the operator feeds binary chunks to an engine executor
+// (selective conversion of exactly the query's required columns), applying
+// min/max chunk elimination derived from the predicate.
+func ExecuteQuery(op *Operator, q *engine.Query) (*engine.Result, RunStats, error) {
+	ex, err := engine.NewExecutor(q, op.Table().Schema())
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	req := Request{
+		Columns: q.RequiredColumns(),
+		Deliver: ex.Consume,
+		Skip:    SkipFromPredicate(q.Where),
+	}
+	st, err := op.Run(req)
+	if err != nil {
+		return nil, st, err
+	}
+	res, err := ex.Result()
+	return res, st, err
+}
+
+// ExecuteSQL parses sql against the table's schema and executes it through
+// the registry's operator for that table.
+func (r *Registry) ExecuteSQL(table *dbstore.Table, cfg Config, sql string) (*engine.Result, RunStats, error) {
+	q, err := engine.ParseSQL(sql, table.Schema())
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	return ExecuteQuery(r.Operator(table, cfg), q)
+}
+
+// SkipFromPredicate derives a chunk-elimination filter from a query
+// predicate using the catalog's per-chunk min/max statistics (§3.3): a
+// chunk is skipped when a conjunct of the form <column> <cmp> <integer
+// literal> provably matches no tuple of the chunk. A nil or unanalyzable
+// predicate yields nil (no skipping).
+func SkipFromPredicate(where engine.Expr) func(*dbstore.ChunkMeta) bool {
+	ranges := collectRanges(where)
+	if len(ranges) == 0 {
+		return nil
+	}
+	return func(meta *dbstore.ChunkMeta) bool {
+		for _, rg := range ranges {
+			if rg.col >= len(meta.Stats) {
+				continue
+			}
+			if !meta.Stats[rg.col].MayContainInt(rg.lo, rg.hi) {
+				return true // no tuple can satisfy this conjunct
+			}
+		}
+		return false
+	}
+}
+
+type colRange struct {
+	col    int
+	lo, hi int64
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// collectRanges walks AND-connected comparisons of a column against an
+// integer constant and converts each into the value range a qualifying
+// tuple must lie in.
+func collectRanges(e engine.Expr) []colRange {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *engine.Logic:
+		if v.Op == engine.OpAnd {
+			return append(collectRanges(v.L), collectRanges(v.R)...)
+		}
+		return nil
+	case *engine.Cmp:
+		col, konst, op, ok := normalizeCmp(v)
+		if !ok {
+			return nil
+		}
+		switch op {
+		case engine.OpEq:
+			return []colRange{{col, konst, konst}}
+		case engine.OpLt:
+			if konst == minInt64 {
+				return nil
+			}
+			return []colRange{{col, minInt64, konst - 1}}
+		case engine.OpLe:
+			return []colRange{{col, minInt64, konst}}
+		case engine.OpGt:
+			if konst == maxInt64 {
+				return nil
+			}
+			return []colRange{{col, konst + 1, maxInt64}}
+		case engine.OpGe:
+			return []colRange{{col, konst, maxInt64}}
+		default: // OpNe excludes almost nothing
+			return nil
+		}
+	default:
+		return nil
+	}
+}
+
+// normalizeCmp extracts (column, constant, operator-with-column-on-left)
+// from a comparison when one side is a bare integer-typed column and the
+// other an integer literal.
+func normalizeCmp(c *engine.Cmp) (col int, konst int64, op engine.CmpOp, ok bool) {
+	if l, isCol := c.L.(*engine.Col); isCol && l.Typ == schema.Int64 {
+		if r, isConst := c.R.(*engine.Const); isConst && r.Typ == schema.Int64 {
+			return l.Idx, r.Int, c.Op, true
+		}
+	}
+	if r, isCol := c.R.(*engine.Col); isCol && r.Typ == schema.Int64 {
+		if l, isConst := c.L.(*engine.Const); isConst && l.Typ == schema.Int64 {
+			return r.Idx, l.Int, flipCmp(c.Op), true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+func flipCmp(op engine.CmpOp) engine.CmpOp {
+	switch op {
+	case engine.OpLt:
+		return engine.OpGt
+	case engine.OpLe:
+		return engine.OpGe
+	case engine.OpGt:
+		return engine.OpLt
+	case engine.OpGe:
+		return engine.OpLe
+	default:
+		return op
+	}
+}

@@ -1,0 +1,115 @@
+package scanraw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBlockedFraction(t *testing.T) {
+	cases := []struct {
+		rep  ResourceReport
+		want float64
+	}{
+		{ResourceReport{ReadBlocked: 0, Duration: time.Second}, 0},
+		{ResourceReport{ReadBlocked: time.Second / 2, Duration: time.Second}, 0.5},
+		{ResourceReport{ReadBlocked: 2 * time.Second, Duration: time.Second}, 1},
+		{ResourceReport{ReadBlocked: time.Second, Duration: 0}, 0},
+	}
+	for _, c := range cases {
+		if got := c.rep.BlockedFraction(); got != c.want {
+			t.Errorf("BlockedFraction(%+v) = %v, want %v", c.rep, got, c.want)
+		}
+	}
+}
+
+func TestAdaptWorkersHeuristic(t *testing.T) {
+	env := newEnv(t, 64, 2, nil)
+	op := New(env.store, env.table, Config{
+		Workers: 4, AdaptiveWorkers: true, MinWorkers: 1, MaxWorkers: 16,
+	})
+	// CPU-bound report: pool doubles.
+	op.adaptWorkers(ResourceReport{Workers: 4, ReadBlocked: 800 * time.Millisecond, Duration: time.Second})
+	if op.workers != 8 {
+		t.Errorf("CPU-bound: workers = %d, want 8", op.workers)
+	}
+	// Again: capped at MaxWorkers.
+	op.adaptWorkers(ResourceReport{Workers: 12, ReadBlocked: 900 * time.Millisecond, Duration: time.Second})
+	if op.workers != 16 {
+		t.Errorf("capped: workers = %d, want 16", op.workers)
+	}
+	// I/O-bound report: shrink by one.
+	op.adaptWorkers(ResourceReport{Workers: 16, ReadBlocked: 0, Duration: time.Second})
+	if op.workers != 15 {
+		t.Errorf("I/O-bound: workers = %d, want 15", op.workers)
+	}
+	// In between: unchanged.
+	op.adaptWorkers(ResourceReport{Workers: 15, ReadBlocked: 100 * time.Millisecond, Duration: time.Second})
+	if op.workers != 15 {
+		t.Errorf("steady: workers = %d, want 15", op.workers)
+	}
+	// Never below MinWorkers.
+	op2 := New(env.store, env.table, Config{
+		Workers: 1, AdaptiveWorkers: true, MinWorkers: 1, MaxWorkers: 4,
+	})
+	op2.adaptWorkers(ResourceReport{Workers: 1, ReadBlocked: 0, Duration: time.Second})
+	if op2.workers != 1 {
+		t.Errorf("floor: workers = %d, want 1", op2.workers)
+	}
+	// Disabled: no change.
+	op3 := New(env.store, env.table, Config{Workers: 4})
+	op3.adaptWorkers(ResourceReport{Workers: 4, ReadBlocked: time.Second, Duration: time.Second})
+	if op3.workers != 4 {
+		t.Errorf("disabled: workers = %d, want 4", op3.workers)
+	}
+}
+
+func TestAdaptiveWorkersGrowUnderCPUBound(t *testing.T) {
+	// Engine bottleneck (slow deliver) makes READ block; across queries
+	// the adaptive pool must grow toward the cap.
+	env := newEnv(t, 1024, 4, nil)
+	op := New(env.store, env.table, Config{
+		Workers: 1, AdaptiveWorkers: true, MinWorkers: 1, MaxWorkers: 8,
+		ChunkLines: 64, CacheChunks: 2,
+		TextBufferChunks: 2, PositionBufferChunks: 2,
+	})
+	slowDeliver := func(bc *BinaryChunk) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	}
+	prev := op.Workers()
+	grew := false
+	for q := 0; q < 4; q++ {
+		st, err := op.Run(Request{Columns: []int{0, 1, 2, 3}, Deliver: slowDeliver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.WorkersUsed != prev {
+			t.Errorf("query %d used %d workers, pool said %d", q, st.WorkersUsed, prev)
+		}
+		cur := op.Workers()
+		if cur > prev {
+			grew = true
+		}
+		if cur < prev {
+			t.Errorf("pool shrank under CPU-bound load: %d -> %d", prev, cur)
+		}
+		prev = cur
+		// The cache fills with converted chunks; clear it so every query
+		// re-exercises the pipeline.
+		op.Cache().Clear()
+	}
+	if !grew {
+		t.Error("adaptive pool never grew under sustained READ blocking")
+	}
+}
+
+func TestAdaptiveWorkersConfigDefaults(t *testing.T) {
+	cfg := Config{Workers: 3, AdaptiveWorkers: true}.withDefaults()
+	if cfg.MinWorkers != 1 || cfg.MaxWorkers != 12 {
+		t.Errorf("defaults = [%d,%d], want [1,12]", cfg.MinWorkers, cfg.MaxWorkers)
+	}
+	cfg2 := Config{Workers: 2, AdaptiveWorkers: true, MinWorkers: 5, MaxWorkers: 3}.withDefaults()
+	if cfg2.MaxWorkers < cfg2.MinWorkers {
+		t.Errorf("bounds not normalized: [%d,%d]", cfg2.MinWorkers, cfg2.MaxWorkers)
+	}
+}

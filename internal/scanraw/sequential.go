@@ -1,0 +1,145 @@
+package scanraw
+
+import (
+	"sync"
+
+	"scanraw/internal/chunk"
+)
+
+// runSequential executes the query with zero worker threads: chunks pass
+// through READ, TOKENIZE, PARSE and WRITE one at a time on the calling
+// goroutine — the paper's "0 worker threads" configuration where no stage
+// overlap is possible. It still honours the write policy; under
+// Speculative the write of the oldest unloaded chunk happens after each
+// conversion, when the disk would otherwise idle until the next read.
+func (o *Operator) runSequential(req Request, delivered map[int]bool) (*run, error) {
+	r := &run{
+		op:      o,
+		req:     req,
+		upTo:    req.Columns[len(req.Columns)-1] + 1,
+		done:    make(chan struct{}),
+		seqSlot: &workerSlot{},
+	}
+	r.cacheCond = sync.NewCond(&r.cacheMu)
+	r.invisibleLeft.Store(int64(o.cfg.InvisibleChunksPerQuery))
+
+	sc := newRawScanner(o, o.table.RawFile())
+	id := 0
+	var off int64
+	for {
+		meta, known := o.table.Chunk(id)
+		var tc *chunk.TextChunk
+		if known {
+			next := off + meta.RawLen
+			switch {
+			case delivered[id]:
+				id++
+				off = next
+				continue
+			case req.Skip != nil && req.Skip(meta):
+				r.skipped.Add(1)
+				id++
+				off = next
+				continue
+			case meta.LoadedAll(req.Columns):
+				bc, err := o.dbRead(id, req.Columns)
+				if err != nil {
+					return r, err
+				}
+				o.cache.Put(bc, true)
+				if err := req.Deliver(bc); err != nil {
+					return r, err
+				}
+				r.deliveredDB.Add(1)
+				id++
+				off = next
+				continue
+			default:
+				data, err := sc.readExtent(off, meta.RawLen)
+				if err != nil {
+					return r, err
+				}
+				o.prof.readChunks.Add(1)
+				tc = &chunk.TextChunk{ID: id, Data: data, Lines: meta.Rows}
+				off = next
+			}
+		} else {
+			sc.seek(off)
+			data, lines, err := sc.next(o.cfg.ChunkLines)
+			if err != nil {
+				return r, err
+			}
+			if lines == 0 {
+				break
+			}
+			o.prof.readChunks.Add(1)
+			if err := o.table.EnsureChunk(id, lines, off, int64(len(data))); err != nil {
+				return r, err
+			}
+			tc = &chunk.TextChunk{ID: id, Data: data, Lines: lines}
+			off += int64(len(data))
+		}
+		if err := r.convertAndDeliver(tc); err != nil {
+			return r, err
+		}
+		id++
+	}
+	o.table.SetComplete()
+	return r, nil
+}
+
+// convertAndDeliver runs the conversion stages inline for one chunk.
+func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
+	o := r.op
+	var bc *BinaryChunk
+	pm, err := o.tokenizeChunk(r.seqSlot, tc, r.upTo)
+	if err != nil {
+		return err
+	}
+	d := o.cpuWork(r.seqSlot, func() { bc, err = o.parser.Parse(tc, pm, r.req.Columns) })
+	o.prof.parseNs.Add(int64(d))
+	if err != nil {
+		return err
+	}
+	o.prof.parseChunks.Add(1)
+	if o.cfg.CollectStats {
+		if err := r.recordStats(bc); err != nil {
+			return err
+		}
+	}
+	loaded := false
+	switch o.cfg.Policy {
+	case FullLoad:
+		if err := r.runWrite(bc); err != nil {
+			return err
+		}
+		loaded = true
+	case Invisible:
+		if r.invisibleLeft.Add(-1) >= 0 {
+			if err := r.runWrite(bc); err != nil {
+				return err
+			}
+			loaded = true
+		}
+	}
+	evicted, evictedLoaded, _ := o.cache.Put(bc, loaded)
+	if o.cfg.Policy == BufferedLoad && evicted != nil && !evictedLoaded {
+		if err := r.runWrite(evicted); err != nil {
+			return err
+		}
+	}
+	if err := r.req.Deliver(bc); err != nil {
+		return err
+	}
+	r.deliveredRaw.Add(1)
+	// Speculative loading without overlap: the disk idles while the next
+	// chunk is converted, so load the oldest unloaded cached chunk now.
+	if o.cfg.Policy == Speculative {
+		if old := o.cache.OldestUnloaded(); old != nil {
+			if err := r.runWrite(old); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package scanraw
+
+import (
+	"fmt"
+	"sort"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/engine"
+)
+
+// RunShared executes several requests over a single scan of the raw file —
+// the multi-query processing the paper names as future work (§7). The
+// operator converts the union of the requested columns once; every chunk
+// is then delivered to each request, except requests whose Skip filter
+// excludes it. Chunks are read or converted only once regardless of how
+// many queries consume them, so N concurrent queries cost roughly one scan
+// plus N engine passes instead of N scans.
+//
+// The returned stats describe the shared scan; the per-request slice gives
+// each query's delivered/skipped chunk counts.
+func (o *Operator) RunShared(reqs []Request) (RunStats, []SharedStats, error) {
+	if len(reqs) == 0 {
+		return RunStats{}, nil, fmt.Errorf("scanraw: RunShared needs at least one request")
+	}
+	ncols := o.table.Schema().NumColumns()
+	for i, req := range reqs {
+		if err := validateRequest(req, ncols); err != nil {
+			return RunStats{}, nil, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	union := unionColumns(reqs)
+	per := make([]SharedStats, len(reqs))
+
+	combined := Request{
+		Columns: union,
+		// A chunk is skipped at the scan level only when every request
+		// would skip it; requests without a filter always need the chunk.
+		Skip: func(meta *dbstore.ChunkMeta) bool {
+			for _, req := range reqs {
+				if req.Skip == nil || !req.Skip(meta) {
+					return false
+				}
+			}
+			return true
+		},
+		Deliver: func(bc *BinaryChunk) error {
+			meta, haveMeta := o.table.Chunk(bc.ID)
+			for i := range reqs {
+				if reqs[i].Skip != nil && haveMeta && reqs[i].Skip(meta) {
+					per[i].SkippedChunks++
+					continue
+				}
+				if err := reqs[i].Deliver(bc); err != nil {
+					return fmt.Errorf("request %d: %w", i, err)
+				}
+				per[i].DeliveredChunks++
+			}
+			return nil
+		},
+	}
+	st, err := o.Run(combined)
+	return st, per, err
+}
+
+// SharedStats is the per-request accounting of a shared scan.
+type SharedStats struct {
+	DeliveredChunks int
+	SkippedChunks   int
+}
+
+// unionColumns returns the sorted union of every request's column set.
+func unionColumns(reqs []Request) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, req := range reqs {
+		for _, c := range req.Columns {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ExecuteQueries runs several bound queries against the operator in one
+// shared scan and returns their result sets.
+func ExecuteQueries(op *Operator, qs []*engine.Query) ([]*engine.Result, RunStats, error) {
+	if len(qs) == 0 {
+		return nil, RunStats{}, fmt.Errorf("scanraw: no queries")
+	}
+	sch := op.Table().Schema()
+	executors := make([]*engine.Executor, len(qs))
+	reqs := make([]Request, len(qs))
+	for i, q := range qs {
+		ex, err := engine.NewExecutor(q, sch)
+		if err != nil {
+			return nil, RunStats{}, fmt.Errorf("query %d: %w", i, err)
+		}
+		executors[i] = ex
+		reqs[i] = Request{
+			Columns: q.RequiredColumns(),
+			Deliver: ex.Consume,
+			Skip:    SkipFromPredicate(q.Where),
+		}
+	}
+	st, _, err := op.RunShared(reqs)
+	if err != nil {
+		return nil, st, err
+	}
+	results := make([]*engine.Result, len(qs))
+	for i, ex := range executors {
+		res, err := ex.Result()
+		if err != nil {
+			return nil, st, fmt.Errorf("query %d: %w", i, err)
+		}
+		results[i] = res
+	}
+	return results, st, nil
+}

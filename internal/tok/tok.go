@@ -1,0 +1,193 @@
+// Package tok implements the TOKENIZE stage of raw-file query processing
+// (paper §2): given a text chunk whose lines are delimiter-separated tuples,
+// it identifies the starting (and ending) position of every attribute and
+// records them in a positional map.
+//
+// Two of the paper's optimizations are implemented:
+//
+//   - Selective tokenizing: the linear scan over a line stops as soon as the
+//     last attribute required by the query has been delimited, so queries
+//     touching a column prefix never pay for the full line.
+//   - Partial-map extension: a cached positional map covering only the first
+//     k attributes can be extended in place for a later query needing more,
+//     resuming the scan from the last recorded position instead of
+//     re-tokenizing from the start of each line.
+package tok
+
+import (
+	"bytes"
+	"fmt"
+
+	"scanraw/internal/chunk"
+)
+
+// Tokenizer tokenizes text chunks with a fixed field delimiter.
+type Tokenizer struct {
+	// Delim separates attributes within a line (',' for CSV, '\t' for
+	// tab-delimited files such as SAM).
+	Delim byte
+	// MinFields is the number of attributes every tuple must contain.
+	// Lines may carry more (e.g. SAM optional fields); they may not carry
+	// fewer. Tokenize requests beyond MinFields are rejected.
+	MinFields int
+}
+
+// CountLines returns the number of newline-terminated lines in data,
+// counting a trailing fragment without '\n' as a line.
+func CountLines(data []byte) int {
+	n := bytes.Count(data, []byte{'\n'})
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// Tokenize scans chunk c and produces a positional map covering the first
+// upTo attributes of every line. upTo must be in [1, MinFields]. The scan
+// over each line stops as soon as attribute upTo-1 is delimited (selective
+// tokenizing); LineEnd still records the true end of each line so the map
+// can be extended later.
+func (t *Tokenizer) Tokenize(c *chunk.TextChunk, upTo int) (*chunk.PositionalMap, error) {
+	if upTo < 1 || upTo > t.MinFields {
+		return nil, fmt.Errorf("tok: upTo %d outside [1,%d]", upTo, t.MinFields)
+	}
+	rows := c.Lines
+	m := &chunk.PositionalMap{
+		NumRows: rows,
+		NumCols: upTo,
+		Starts:  make([]int32, 0, rows*upTo),
+		Ends:    make([]int32, 0, rows*upTo),
+		LineEnd: make([]int32, 0, rows),
+	}
+	data := c.Data
+	pos := 0
+	for r := 0; r < rows; r++ {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("tok: chunk %d claims %d lines but data ends at line %d", c.ID, rows, r)
+		}
+		lineEnd := pos + lineLength(data[pos:])
+		// Tolerate CRLF line endings: the carriage return is not part of
+		// the last field.
+		if lineEnd > pos && data[lineEnd-1] == '\r' {
+			lineEnd--
+		}
+		fieldStart := pos
+		found := 0
+		for i := pos; found < upTo; i++ {
+			if i >= lineEnd {
+				// End of line terminates the current field.
+				m.Starts = append(m.Starts, int32(fieldStart))
+				m.Ends = append(m.Ends, int32(lineEnd))
+				found++
+				if found < upTo {
+					return nil, fmt.Errorf("tok: chunk %d row %d has %d fields, need %d", c.ID, r, found, upTo)
+				}
+				break
+			}
+			if data[i] == t.Delim {
+				m.Starts = append(m.Starts, int32(fieldStart))
+				m.Ends = append(m.Ends, int32(i))
+				found++
+				fieldStart = i + 1
+			}
+		}
+		m.LineEnd = append(m.LineEnd, int32(lineEnd))
+		pos = lineEnd
+		if pos < len(data) && data[pos] == '\r' {
+			pos++
+		}
+		if pos < len(data) && data[pos] == '\n' {
+			pos++
+		}
+	}
+	return m, nil
+}
+
+// lineLength returns the number of bytes before the next '\n' (or to the
+// end of data when no newline remains).
+func lineLength(data []byte) int {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		return i
+	}
+	return len(data)
+}
+
+// Extend grows an existing positional map in place so that it covers the
+// first upTo attributes per line, scanning forward from the last position
+// recorded for each row. The map must have been produced by Tokenize on the
+// same chunk. On success m.NumCols == upTo.
+func (t *Tokenizer) Extend(c *chunk.TextChunk, m *chunk.PositionalMap, upTo int) error {
+	if upTo <= m.NumCols {
+		return nil // already covered
+	}
+	if upTo > t.MinFields {
+		return fmt.Errorf("tok: upTo %d outside [1,%d]", upTo, t.MinFields)
+	}
+	old := m.NumCols
+	data := c.Data
+	delim := t.Delim
+	starts := make([]int32, 0, m.NumRows*upTo)
+	ends := make([]int32, 0, m.NumRows*upTo)
+	for r := 0; r < m.NumRows; r++ {
+		starts = append(starts, m.Starts[r*old:(r+1)*old]...)
+		ends = append(ends, m.Ends[r*old:(r+1)*old]...)
+		lineEnd := int(m.LineEnd[r])
+		// The next field starts one past the delimiter that ended the last
+		// tokenized field — unless that field already reached line end.
+		fieldStart := int(m.Ends[r*old+old-1]) + 1
+		found := old
+		if fieldStart > lineEnd {
+			return fmt.Errorf("tok: chunk %d row %d has %d fields, need %d", c.ID, r, found, upTo)
+		}
+		for i := fieldStart; found < upTo; i++ {
+			if i >= lineEnd {
+				starts = append(starts, int32(fieldStart))
+				ends = append(ends, int32(lineEnd))
+				found++
+				if found < upTo {
+					return fmt.Errorf("tok: chunk %d row %d has %d fields, need %d", c.ID, r, found, upTo)
+				}
+				break
+			}
+			if data[i] == delim {
+				starts = append(starts, int32(fieldStart))
+				ends = append(ends, int32(i))
+				found++
+				fieldStart = i + 1
+			}
+		}
+	}
+	m.NumCols = upTo
+	m.Starts = starts
+	m.Ends = ends
+	return nil
+}
+
+// SplitChunks partitions raw file bytes into text chunks of at most
+// linesPerChunk lines each, assigning consecutive IDs starting at 0. The
+// returned chunks alias data (no copying). It is the reference splitter
+// used by generators and tests; the pipeline reader performs the same split
+// incrementally.
+func SplitChunks(data []byte, linesPerChunk int) ([]*chunk.TextChunk, error) {
+	if linesPerChunk <= 0 {
+		return nil, fmt.Errorf("tok: linesPerChunk must be positive, got %d", linesPerChunk)
+	}
+	var out []*chunk.TextChunk
+	id := 0
+	for len(data) > 0 {
+		lines := 0
+		pos := 0
+		for lines < linesPerChunk && pos < len(data) {
+			n := lineLength(data[pos:])
+			pos += n
+			if pos < len(data) && data[pos] == '\n' {
+				pos++
+			}
+			lines++
+		}
+		out = append(out, &chunk.TextChunk{ID: id, Data: data[:pos], Lines: lines})
+		data = data[pos:]
+		id++
+	}
+	return out, nil
+}
