@@ -1,0 +1,28 @@
+# Tier-1 verification gate (see ROADMAP.md): `make check` must pass
+# before every merge.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race
+
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages additionally run under the race
+# detector: the operator pipeline/registry and the query server.
+race:
+	$(GO) test -race ./internal/scanraw/... ./internal/server/...

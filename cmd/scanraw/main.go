@@ -22,6 +22,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -80,6 +82,7 @@ func main() {
 		delim     = flag.String("delim", ",", "field delimiter")
 		stats     = flag.Bool("stats", true, "collect min/max statistics while converting")
 		repl      = flag.Bool("repl", false, "read queries interactively from stdin")
+		timeout   = flag.Duration("timeout", 0, "per-query timeout; cancels the scan when exceeded (0 = none)")
 	)
 	flag.Parse()
 	if *file == "" || (flag.NArg() == 0 && !*repl) {
@@ -129,8 +132,19 @@ func main() {
 		CollectStats: *stats,
 	}
 	runOne := func(sql string) error {
-		res, st, err := reg.ExecuteSQL(table, opCfg, sql)
-		if err != nil {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		res, st, err := reg.ExecuteSQLContext(ctx, table, opCfg, sql)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return fmt.Errorf("query timed out after %v: %s", *timeout, sql)
+		case errors.Is(err, context.Canceled):
+			return fmt.Errorf("query cancelled: %s", sql)
+		case err != nil:
 			return err
 		}
 		fmt.Printf("> %s\n%s", sql, res)

@@ -1,0 +1,216 @@
+// Command scanrawd runs the SCANRAW query-serving daemon: an HTTP server
+// that executes SQL in-situ over raw delimited files, coalescing
+// concurrent queries against the same file into shared scans and loading
+// data speculatively as queries run.
+//
+// Usage:
+//
+//	scanrawd -file data.csv -schema 'c0:int,c1:int' -addr :8080 \
+//	         -policy speculative -workers 8
+//
+// Several files can be served at once by repeating -file with name=path
+// pairs and matching name=spec schemas:
+//
+//	scanrawd -file a=a.csv -schema 'a=x:int,y:int' \
+//	         -file b=b.tsv -schema 'b=u:int,v:string' -tsv b
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "SELECT ...", "timeout_ms": 5000}
+//	               → {"columns": [...], "rows": [[...]], "stats": {...}}
+//	               add ?stream=ndjson for newline-delimited row streaming
+//	GET  /metrics  live worker/disk utilization + serving counters
+//	GET  /tables   catalog and loading progress per table
+//
+// Queries against the same file arriving within the coalescing window
+// (-coalesce) share one physical scan. Queries beyond -max-concurrent are
+// rejected with 429. Client disconnects and timeouts cancel the pipeline.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/sam"
+	"scanraw/internal/scanraw"
+	"scanraw/internal/schema"
+	"scanraw/internal/server"
+	"scanraw/internal/vdisk"
+)
+
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func parseSchema(spec string) (*schema.Schema, error) {
+	var cols []schema.Column
+	for _, part := range strings.Split(spec, ",") {
+		name, tyName, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("schema entry %q is not name:type", part)
+		}
+		ty, err := schema.ParseType(tyName)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, schema.Column{Name: strings.TrimSpace(name), Type: ty})
+	}
+	return schema.New(cols...)
+}
+
+func parsePolicy(s string) (scanraw.WritePolicy, error) {
+	switch s {
+	case "external":
+		return scanraw.ExternalTables, nil
+	case "fullload", "load":
+		return scanraw.FullLoad, nil
+	case "buffered":
+		return scanraw.BufferedLoad, nil
+	case "speculative":
+		return scanraw.Speculative, nil
+	case "invisible":
+		return scanraw.Invisible, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (external, fullload, buffered, speculative, invisible)", s)
+	}
+}
+
+// splitNamed splits "name=value" flags; a bare value gets the default
+// name "data" (single-table usage needs no names).
+func splitNamed(v string) (name, value string) {
+	if n, rest, ok := strings.Cut(v, "="); ok {
+		return n, rest
+	}
+	return "data", v
+}
+
+func main() {
+	var (
+		files      multiFlag
+		schemas    multiFlag
+		tsvTables  multiFlag
+		samTables  multiFlag
+		addr       = flag.String("addr", ":8080", "listen address")
+		policyStr  = flag.String("policy", "speculative", "write policy")
+		workers    = flag.Int("workers", 8, "worker threads per operator (0 = sequential)")
+		chunkLines = flag.Int("chunk", 1<<13, "lines per chunk")
+		cacheSz    = flag.Int("cache", 32, "binary cache capacity in chunks")
+		diskMBps   = flag.Int("disk", 0, "simulated disk bandwidth in MB/s (0 = unthrottled)")
+		stats      = flag.Bool("stats", true, "collect min/max statistics while converting")
+		maxConc    = flag.Int("max-concurrent", 32, "admission slots: queries in flight before 429")
+		coalesce   = flag.Duration("coalesce", 2*time.Millisecond, "coalescing window for shared scans (negative disables)")
+		timeout    = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
+	)
+	flag.Var(&files, "file", "raw file to serve, as path or name=path (repeatable)")
+	flag.Var(&schemas, "schema", "schema as 'name:type,...' or table=spec (repeatable)")
+	flag.Var(&tsvTables, "tsv", "table name whose file is tab-delimited (repeatable)")
+	flag.Var(&samTables, "sam", "table name using the SAM schema + tab delimiter (repeatable)")
+	flag.Parse()
+
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: scanrawd -file <raw file> -schema <spec> [-addr :8080] ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	policy, err := parsePolicy(*policyStr)
+	if err != nil {
+		log.Fatalf("scanrawd: %v", err)
+	}
+
+	schemaByTable := make(map[string]string)
+	for _, s := range schemas {
+		name, spec := splitNamed(s)
+		schemaByTable[name] = spec
+	}
+	isTSV := make(map[string]bool)
+	for _, n := range tsvTables {
+		isTSV[n] = true
+	}
+	isSAM := make(map[string]bool)
+	for _, n := range samTables {
+		isSAM[n] = true
+	}
+
+	var diskCfg vdisk.Config
+	if *diskMBps > 0 {
+		diskCfg.ReadBandwidth = int64(*diskMBps) << 20
+		diskCfg.WriteBandwidth = int64(*diskMBps) << 20
+	}
+	disk := vdisk.New(diskCfg)
+	store := dbstore.NewStore(disk)
+	srv := server.New(store, server.Config{
+		MaxConcurrent:  *maxConc,
+		CoalesceWindow: *coalesce,
+		DefaultTimeout: *timeout,
+	})
+
+	for _, f := range files {
+		name, path := splitNamed(f)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("scanrawd: %v", err)
+		}
+		var sch *schema.Schema
+		delim := byte(',')
+		switch {
+		case isSAM[name]:
+			sch, delim = sam.Schema(), '\t'
+		default:
+			spec, ok := schemaByTable[name]
+			if !ok {
+				log.Fatalf("scanrawd: no -schema for table %q", name)
+			}
+			if sch, err = parseSchema(spec); err != nil {
+				log.Fatalf("scanrawd: table %q: %v", name, err)
+			}
+			if isTSV[name] {
+				delim = '\t'
+			}
+		}
+		blob := "raw/" + name
+		disk.Preload(blob, raw)
+		table, err := store.CreateTable(name, sch, blob)
+		if err != nil {
+			log.Fatalf("scanrawd: %v", err)
+		}
+		if err := srv.AddTable(table, scanraw.Config{
+			Workers:      *workers,
+			ChunkLines:   *chunkLines,
+			CacheChunks:  *cacheSz,
+			Policy:       policy,
+			Safeguard:    true,
+			Delim:        delim,
+			CollectStats: *stats,
+		}); err != nil {
+			log.Fatalf("scanrawd: %v", err)
+		}
+		log.Printf("serving table %q (%d bytes, schema %s)", name, len(raw), sch)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("scanrawd listening on %s (policy %s, %d slots, %v coalescing window)",
+		*addr, policy, *maxConc, *coalesce)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("scanrawd: %v", err)
+	}
+}

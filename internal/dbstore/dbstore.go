@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"sync"
 
 	"scanraw/internal/chunk"
@@ -309,6 +310,19 @@ func (s *Store) Table(name string) (*Table, bool) {
 	defer s.mu.RUnlock()
 	t, ok := s.tables[name]
 	return t, ok
+}
+
+// Tables returns every registered table, sorted by name — the catalog
+// listing a serving endpoint enumerates.
+func (s *Store) Tables() []*Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
 }
 
 // DropTable removes a table and deletes its pages from disk.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -236,6 +237,18 @@ func NewExecutor(q *Query, sch *schema.Schema) (*Executor, error) {
 		return nil, err
 	}
 	return &Executor{q: q, sch: sch, groups: make(map[string]*group)}, nil
+}
+
+// ConsumeContext folds one chunk into the running result after checking
+// for cancellation. This is the point where query execution observes
+// client disconnects and per-query timeouts: the SCANRAW delivery loop
+// calls it once per chunk, so a cancelled context stops execution at the
+// next chunk boundary.
+func (e *Executor) ConsumeContext(ctx context.Context, bc *chunk.BinaryChunk) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.Consume(bc)
 }
 
 // Consume folds one chunk into the running result.

@@ -126,3 +126,59 @@ func (t *Tracer) Stop() []Sample {
 	defer t.mu.Unlock()
 	return append([]Sample(nil), t.samples...)
 }
+
+// Meter is the pull-based counterpart of Tracer: instead of a background
+// goroutine sampling on a ticker, each Sample call reports utilization
+// over the interval since the previous call. This is the shape a serving
+// endpoint wants — a GET /metrics handler pulls a sample when asked and
+// pays nothing in between.
+//
+// The CPU source is a function rather than a single BusyCounter because a
+// server aggregates worker-busy time across every live operator's pool.
+type Meter struct {
+	disk *vdisk.Disk
+	cpu  func() time.Duration // cumulative worker-busy time
+
+	mu       sync.Mutex
+	start    time.Time
+	lastAt   time.Time
+	lastDisk vdisk.Stats
+	lastCPU  time.Duration
+}
+
+// NewMeter builds a meter over a disk and a cumulative worker-busy-time
+// source. The first Sample call reports utilization since construction.
+func NewMeter(d *vdisk.Disk, cpu func() time.Duration) *Meter {
+	now := time.Now()
+	return &Meter{
+		disk:     d,
+		cpu:      cpu,
+		start:    now,
+		lastAt:   now,
+		lastDisk: d.Stats(),
+		lastCPU:  cpu(),
+	}
+}
+
+// Sample returns utilization over the interval since the last Sample (or
+// since construction), in the same units as Tracer samples: CPUPercent in
+// percent-of-one-core (N busy workers report N*100), IO/Read/WritePercent
+// as percent of wall-clock the disk was busy. Progress is passed through.
+func (m *Meter) Sample(progress float64) Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	dt := now.Sub(m.lastAt)
+	disk := m.disk.Stats()
+	cpu := m.cpu()
+	s := Sample{At: now.Sub(m.start), Progress: progress}
+	if dt > 0 {
+		d := disk.Sub(m.lastDisk)
+		s.CPUPercent = 100 * float64(cpu-m.lastCPU) / float64(dt)
+		s.ReadPercent = 100 * float64(d.ReadBusy) / float64(dt)
+		s.WritePercent = 100 * float64(d.WriteBusy) / float64(dt)
+		s.IOPercent = s.ReadPercent + s.WritePercent
+	}
+	m.lastAt, m.lastDisk, m.lastCPU = now, disk, cpu
+	return s
+}

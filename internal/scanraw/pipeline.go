@@ -1,6 +1,7 @@
 package scanraw
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -131,11 +132,24 @@ func validateRequest(req Request, ncols int) error {
 // file (via cache, database, or raw conversion) to req.Deliver exactly
 // once, loading data along the way according to the write policy.
 func (o *Operator) Run(req Request) (RunStats, error) {
+	return o.RunContext(context.Background(), req)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (client
+// disconnect, per-query timeout) the pipeline stops at the next chunk
+// boundary, the stage goroutines unwind, and the disk is released. The
+// returned error is ctx.Err() when cancellation cut the run short.
+// Cancellation is chunk-granular — an in-flight disk transfer or
+// conversion task finishes before the run observes it.
+func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error) {
 	o.runMu.Lock()
 	defer o.runMu.Unlock()
 
 	var st RunStats
 	if err := validateRequest(req, o.table.Schema().NumColumns()); err != nil {
+		return st, err
+	}
+	if err := ctx.Err(); err != nil {
 		return st, err
 	}
 	start := time.Now()
@@ -147,6 +161,10 @@ func (o *Operator) Run(req Request) (RunStats, error) {
 	// fine, cached delivery needs no disk.
 	delivered := make(map[int]bool)
 	for _, id := range o.cache.IDs() {
+		if err := ctx.Err(); err != nil {
+			st.Duration = time.Since(start)
+			return st, err
+		}
 		bc := o.cache.Get(id)
 		if bc == nil || !bc.HasAll(req.Columns) {
 			continue
@@ -172,9 +190,9 @@ func (o *Operator) Run(req Request) (RunStats, error) {
 	var err error
 	var r *run
 	if workers == 0 {
-		r, err = o.runSequential(req, delivered)
+		r, err = o.runSequential(ctx, req, delivered)
 	} else {
-		r, err = o.runParallel(req, delivered, workers)
+		r, err = o.runParallel(ctx, req, delivered, workers)
 	}
 	if r != nil {
 		st.DeliveredDB = int(r.deliveredDB.Load())
@@ -249,7 +267,7 @@ func (o *Operator) takeFlushErr() error {
 
 // runParallel executes the super-scalar pipeline with the given worker
 // pool size.
-func (o *Operator) runParallel(req Request, delivered map[int]bool, workers int) (*run, error) {
+func (o *Operator) runParallel(ctx context.Context, req Request, delivered map[int]bool, workers int) (*run, error) {
 	r := &run{
 		op:           o,
 		req:          req,
@@ -293,6 +311,19 @@ func (o *Operator) runParallel(req Request, delivered map[int]bool, workers int)
 	if hookRun != nil {
 		hookRun(r)
 	}
+	// Cancellation watcher: a cancelled context fails the run, which
+	// closes r.done and unwinds every stage. The watcher is joined before
+	// r.runErr is read so the final fail (if any) happens-before the read.
+	watchStop := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+			r.fail(ctx.Err())
+		case <-watchStop:
+		}
+	}()
 	go r.tokenizeConsumer()
 	go r.parseConsumer()
 	go func() {
@@ -332,6 +363,8 @@ func (o *Operator) runParallel(req Request, delivered map[int]bool, workers int)
 	close(r.finish)
 	r.schedWG.Wait()
 	r.writeWG.Wait()
+	close(watchStop)
+	<-watchDone
 	return r, r.runErr
 }
 

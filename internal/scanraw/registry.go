@@ -1,6 +1,7 @@
 package scanraw
 
 import (
+	"context"
 	"sync"
 
 	"scanraw/internal/dbstore"
@@ -13,10 +14,14 @@ import (
 // and connects it to the plan; only otherwise is one created. An operator
 // whose file is completely loaded is deleted — the table has become an
 // ordinary database table (§3.3).
+//
+// The registry is the shared hot map under concurrent serving: every
+// request resolves its operator here, so lookups take a read lock and
+// Sweep never blocks the map on operator-level waits.
 type Registry struct {
 	store *dbstore.Store
 
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	ops map[string]*Operator
 }
 
@@ -29,20 +34,26 @@ func NewRegistry(store *dbstore.Store) *Registry {
 // if none exists. The configuration of an existing operator is not
 // changed.
 func (r *Registry) Operator(table *dbstore.Table, cfg Config) *Operator {
+	r.mu.RLock()
+	op, ok := r.ops[table.RawFile()]
+	r.mu.RUnlock()
+	if ok {
+		return op
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if op, ok := r.ops[table.RawFile()]; ok {
 		return op
 	}
-	op := New(r.store, table, cfg)
+	op = New(r.store, table, cfg)
 	r.ops[table.RawFile()] = op
 	return op
 }
 
 // Lookup returns the live operator for a raw file, if any.
 func (r *Registry) Lookup(rawFile string) (*Operator, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	op, ok := r.ops[rawFile]
 	return op, ok
 }
@@ -50,24 +61,45 @@ func (r *Registry) Lookup(rawFile string) (*Operator, bool) {
 // Sweep deletes operators whose raw file is completely loaded into the
 // database; their state (cache, buffers) is no longer useful because every
 // future query is a plain heap scan. It returns how many were deleted.
+//
+// Sweep is safe against concurrent queries: it snapshots the operator set,
+// waits for background flushes without holding the registry lock, and
+// skips operators that are mid-query (deleting one would let a later query
+// create a second operator over the same file and race it on the catalog).
 func (r *Registry) Sweep() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	n := 0
+	r.mu.RLock()
+	snapshot := make(map[string]*Operator, len(r.ops))
 	for key, op := range r.ops {
+		snapshot[key] = op
+	}
+	r.mu.RUnlock()
+
+	n := 0
+	for key, op := range snapshot {
 		op.WaitIdle()
-		if op.Table().FullyLoaded() {
+		if !op.Table().FullyLoaded() {
+			continue
+		}
+		// Claim exclusive run ownership without blocking: a busy operator
+		// is simply skipped and reconsidered on the next Sweep.
+		if !op.runMu.TryLock() {
+			continue
+		}
+		r.mu.Lock()
+		if r.ops[key] == op {
 			delete(r.ops, key)
 			n++
 		}
+		r.mu.Unlock()
+		op.runMu.Unlock()
 	}
 	return n
 }
 
 // Len returns the number of live operators.
 func (r *Registry) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return len(r.ops)
 }
 
@@ -76,16 +108,29 @@ func (r *Registry) Len() int {
 // (selective conversion of exactly the query's required columns), applying
 // min/max chunk elimination derived from the predicate.
 func ExecuteQuery(op *Operator, q *engine.Query) (*engine.Result, RunStats, error) {
+	return ExecuteQueryContext(context.Background(), op, q)
+}
+
+// ExecuteQueryContext is ExecuteQuery with cancellation: a cancelled
+// context stops the scan at the next chunk boundary and is returned as the
+// error.
+func ExecuteQueryContext(ctx context.Context, op *Operator, q *engine.Query) (*engine.Result, RunStats, error) {
 	ex, err := engine.NewExecutor(q, op.Table().Schema())
 	if err != nil {
 		return nil, RunStats{}, err
 	}
+	cols := q.RequiredColumns()
+	if len(cols) == 0 {
+		// COUNT(*)-style queries touch no columns but still need every row
+		// scanned; converting the first column is the cheapest way.
+		cols = []int{0}
+	}
 	req := Request{
-		Columns: q.RequiredColumns(),
-		Deliver: ex.Consume,
+		Columns: cols,
+		Deliver: func(bc *BinaryChunk) error { return ex.ConsumeContext(ctx, bc) },
 		Skip:    SkipFromPredicate(q.Where),
 	}
-	st, err := op.Run(req)
+	st, err := op.RunContext(ctx, req)
 	if err != nil {
 		return nil, st, err
 	}
@@ -96,11 +141,16 @@ func ExecuteQuery(op *Operator, q *engine.Query) (*engine.Result, RunStats, erro
 // ExecuteSQL parses sql against the table's schema and executes it through
 // the registry's operator for that table.
 func (r *Registry) ExecuteSQL(table *dbstore.Table, cfg Config, sql string) (*engine.Result, RunStats, error) {
+	return r.ExecuteSQLContext(context.Background(), table, cfg, sql)
+}
+
+// ExecuteSQLContext is ExecuteSQL with cancellation.
+func (r *Registry) ExecuteSQLContext(ctx context.Context, table *dbstore.Table, cfg Config, sql string) (*engine.Result, RunStats, error) {
 	q, err := engine.ParseSQL(sql, table.Schema())
 	if err != nil {
 		return nil, RunStats{}, err
 	}
-	return ExecuteQuery(r.Operator(table, cfg), q)
+	return ExecuteQueryContext(ctx, r.Operator(table, cfg), q)
 }
 
 // SkipFromPredicate derives a chunk-elimination filter from a query

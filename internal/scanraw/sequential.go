@@ -1,6 +1,7 @@
 package scanraw
 
 import (
+	"context"
 	"sync"
 
 	"scanraw/internal/chunk"
@@ -12,7 +13,7 @@ import (
 // overlap is possible. It still honours the write policy; under
 // Speculative the write of the oldest unloaded chunk happens after each
 // conversion, when the disk would otherwise idle until the next read.
-func (o *Operator) runSequential(req Request, delivered map[int]bool) (*run, error) {
+func (o *Operator) runSequential(ctx context.Context, req Request, delivered map[int]bool) (*run, error) {
 	r := &run{
 		op:      o,
 		req:     req,
@@ -27,6 +28,10 @@ func (o *Operator) runSequential(req Request, delivered map[int]bool) (*run, err
 	id := 0
 	var off int64
 	for {
+		// Cancellation is chunk-granular in sequential mode too.
+		if err := ctx.Err(); err != nil {
+			return r, err
+		}
 		meta, known := o.table.Chunk(id)
 		var tc *chunk.TextChunk
 		if known {

@@ -1,6 +1,7 @@
 package scanraw
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,6 +20,14 @@ import (
 // The returned stats describe the shared scan; the per-request slice gives
 // each query's delivered/skipped chunk counts.
 func (o *Operator) RunShared(reqs []Request) (RunStats, []SharedStats, error) {
+	return o.RunSharedContext(context.Background(), reqs)
+}
+
+// RunSharedContext is RunShared with cancellation: when ctx is cancelled
+// the underlying scan stops at the next chunk boundary and every request
+// sees the context error. Callers serving independent clients typically
+// pass a context that cancels only once all of them have gone away.
+func (o *Operator) RunSharedContext(ctx context.Context, reqs []Request) (RunStats, []SharedStats, error) {
 	if len(reqs) == 0 {
 		return RunStats{}, nil, fmt.Errorf("scanraw: RunShared needs at least one request")
 	}
@@ -58,7 +67,7 @@ func (o *Operator) RunShared(reqs []Request) (RunStats, []SharedStats, error) {
 			return nil
 		},
 	}
-	st, err := o.Run(combined)
+	st, err := o.RunContext(ctx, combined)
 	return st, per, err
 }
 
@@ -87,6 +96,11 @@ func unionColumns(reqs []Request) []int {
 // ExecuteQueries runs several bound queries against the operator in one
 // shared scan and returns their result sets.
 func ExecuteQueries(op *Operator, qs []*engine.Query) ([]*engine.Result, RunStats, error) {
+	return ExecuteQueriesContext(context.Background(), op, qs)
+}
+
+// ExecuteQueriesContext is ExecuteQueries with cancellation.
+func ExecuteQueriesContext(ctx context.Context, op *Operator, qs []*engine.Query) ([]*engine.Result, RunStats, error) {
 	if len(qs) == 0 {
 		return nil, RunStats{}, fmt.Errorf("scanraw: no queries")
 	}
@@ -101,11 +115,11 @@ func ExecuteQueries(op *Operator, qs []*engine.Query) ([]*engine.Result, RunStat
 		executors[i] = ex
 		reqs[i] = Request{
 			Columns: q.RequiredColumns(),
-			Deliver: ex.Consume,
+			Deliver: func(bc *BinaryChunk) error { return ex.ConsumeContext(ctx, bc) },
 			Skip:    SkipFromPredicate(q.Where),
 		}
 	}
-	st, _, err := op.RunShared(reqs)
+	st, _, err := op.RunSharedContext(ctx, reqs)
 	if err != nil {
 		return nil, st, err
 	}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scanraw/internal/engine"
+	"scanraw/internal/scanraw"
+)
+
+// pending is one admitted query waiting to be served by a shared scan.
+type pending struct {
+	ctx    context.Context
+	q      *engine.Query
+	ex     *engine.Executor
+	result chan pendingResult // buffered(1): the batch never blocks on it
+
+	// cancelled flips once the query's context dies mid-scan; the delivery
+	// loop stops feeding its executor from then on.
+	cancelled atomic.Bool
+	// consumeErr records this query's own execution error without failing
+	// the batch for everyone else. Written and read on the scan's single
+	// delivery goroutine, then read after the scan returns.
+	consumeErr error
+}
+
+// pendingResult is what the batch deposits for each member query.
+type pendingResult struct {
+	res       *engine.Result
+	scan      scanraw.RunStats
+	shared    scanraw.SharedStats
+	batchSize int
+	err       error
+}
+
+// batcher coalesces concurrent queries against one raw file into shared
+// scans. The first query to arrive opens a coalescing window; everything
+// that lands before the window closes (or the batch fills) is dispatched
+// as one RunShared call — one physical scan serving the whole batch.
+type batcher struct {
+	srv      *Server
+	op       *scanraw.Operator
+	window   time.Duration
+	maxBatch int
+
+	mu       sync.Mutex
+	queue    []*pending
+	windowed bool // a window goroutine is pending for the current queue
+}
+
+// submit enqueues a query and arranges for its batch to be dispatched.
+func (b *batcher) submit(p *pending) {
+	b.mu.Lock()
+	b.queue = append(b.queue, p)
+	if len(b.queue) >= b.maxBatch {
+		batch := b.queue
+		b.queue = nil
+		b.windowed = false
+		b.mu.Unlock()
+		go b.execute(batch)
+		return
+	}
+	opened := !b.windowed
+	if opened {
+		b.windowed = true
+	}
+	b.mu.Unlock()
+	if !opened {
+		return // an open window will pick this query up
+	}
+	go func() {
+		if b.window > 0 {
+			time.Sleep(b.window)
+		}
+		b.mu.Lock()
+		batch := b.queue
+		b.queue = nil
+		b.windowed = false
+		b.mu.Unlock()
+		if len(batch) > 0 {
+			b.execute(batch)
+		}
+	}()
+}
+
+// execute runs one batch through the shared-scan path and deposits each
+// member's result. Batches for the same operator serialize on the
+// operator's run mutex; batches for different files run concurrently.
+func (b *batcher) execute(batch []*pending) {
+	// The scan context cancels only when every member has gone away —
+	// one client disconnecting must not kill the scan for the others.
+	scanCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	execDone := make(chan struct{})
+	defer close(execDone)
+	var live atomic.Int64
+	live.Store(int64(len(batch)))
+	for _, p := range batch {
+		go func(p *pending) {
+			select {
+			case <-p.ctx.Done():
+				p.cancelled.Store(true)
+				if live.Add(-1) == 0 {
+					cancel()
+				}
+			case <-execDone:
+			}
+		}(p)
+	}
+
+	reqs := make([]scanraw.Request, len(batch))
+	for i, p := range batch {
+		p := p
+		cols := p.q.RequiredColumns()
+		if len(cols) == 0 {
+			// COUNT(*)-style queries touch no columns but still need every
+			// row scanned; converting the first column is the cheapest way.
+			cols = []int{0}
+		}
+		reqs[i] = scanraw.Request{
+			Columns: cols,
+			Skip:    scanraw.SkipFromPredicate(p.q.Where),
+			// Deliver feeds this member's executor but never fails the
+			// whole batch: a dead member is skipped, a member whose own
+			// evaluation errors keeps the error for itself.
+			Deliver: func(bc *scanraw.BinaryChunk) error {
+				if p.consumeErr != nil || p.cancelled.Load() {
+					return nil
+				}
+				if err := p.ctx.Err(); err != nil {
+					return nil
+				}
+				p.consumeErr = p.ex.Consume(bc)
+				return nil
+			},
+		}
+	}
+
+	st, per, err := b.op.RunSharedContext(scanCtx, reqs)
+	b.srv.recordScan(st, len(batch))
+
+	for i, p := range batch {
+		pr := pendingResult{scan: st, batchSize: len(batch)}
+		if per != nil {
+			pr.shared = per[i]
+		}
+		switch {
+		case p.ctx.Err() != nil:
+			pr.err = p.ctx.Err()
+		case p.consumeErr != nil:
+			pr.err = p.consumeErr
+		case err != nil:
+			pr.err = err
+		default:
+			pr.res, pr.err = p.ex.Result()
+		}
+		p.result <- pr
+	}
+}

@@ -1,0 +1,447 @@
+// Package server exposes the SCANRAW engine as a long-running concurrent
+// query service — the operator-inside-a-running-database deployment the
+// paper assumes (§4, Fig. 8), turned into a daemon that serves a stream
+// of queries from many clients at once.
+//
+// The serving path is built around two mechanisms:
+//
+//   - Admission control: a bounded slot semaphore caps the number of
+//     in-flight queries. When every slot is taken, new queries are shed
+//     immediately with 429 Too Many Requests instead of queueing without
+//     bound and collapsing the service.
+//   - Scan coalescing: admitted queries against the same raw file are
+//     batched over a short coalescing window and dispatched through the
+//     operator's shared-scan path (RunShared), so one physical scan —
+//     one read/tokenize/parse of every chunk — serves N clients.
+//
+// Per-query contexts (client disconnects, timeouts) propagate into the
+// operator pipeline: a query whose client has gone away stops receiving
+// chunks, and once every member of a shared scan is gone the scan itself
+// is cancelled and the disk released.
+//
+// Endpoints: POST /query (JSON result, or NDJSON rows with ?stream=ndjson),
+// GET /metrics (live utilization + serving counters), GET /tables (catalog
+// and loading progress).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/engine"
+	"scanraw/internal/metrics"
+	"scanraw/internal/scanraw"
+	"scanraw/internal/schema"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxConcurrent is the number of admission slots — queries in flight
+	// at once, across all tables. Arrivals beyond it get 429. Default 32.
+	MaxConcurrent int
+	// CoalesceWindow is how long the first query against a file waits for
+	// companions before its scan is dispatched. Concurrent queries landing
+	// within the window share one physical scan. Default 2ms; negative
+	// disables coalescing (every query scans alone).
+	CoalesceWindow time.Duration
+	// MaxBatch caps how many queries one shared scan serves; a full batch
+	// dispatches immediately without waiting out the window. Default 64.
+	MaxBatch int
+	// DefaultTimeout bounds queries that do not carry their own timeout.
+	// Zero means no server-imposed limit.
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 32
+	}
+	switch {
+	case c.CoalesceWindow < 0:
+		c.CoalesceWindow = 0
+	case c.CoalesceWindow == 0:
+		c.CoalesceWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// tableEntry is one servable table: its catalog entry plus the operator
+// configuration new operators for it are created with.
+type tableEntry struct {
+	table *dbstore.Table
+	cfg   scanraw.Config
+}
+
+// Server is the query-serving subsystem: it owns an operator registry
+// over a store and serves SQL against registered tables.
+type Server struct {
+	cfg   Config
+	store *dbstore.Store
+	reg   *scanraw.Registry
+	slots chan struct{}
+	meter *metrics.Meter
+	start time.Time
+
+	mu       sync.RWMutex
+	tables   map[string]*tableEntry
+	batchers map[string]*batcher
+
+	met counters
+}
+
+// New creates a server over a store. Tables become servable via AddTable.
+func New(store *dbstore.Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		store:    store,
+		reg:      scanraw.NewRegistry(store),
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		start:    time.Now(),
+		tables:   make(map[string]*tableEntry),
+		batchers: make(map[string]*batcher),
+	}
+	s.meter = metrics.NewMeter(store.Disk(), s.workerBusyTotal)
+	return s
+}
+
+// Registry returns the server's operator registry (tests inspect operator
+// state through it).
+func (s *Server) Registry() *scanraw.Registry { return s.reg }
+
+// AddTable registers a table for serving with the given operator
+// configuration.
+func (s *Server) AddTable(t *dbstore.Table, opCfg scanraw.Config) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[t.Name()]; dup {
+		return fmt.Errorf("server: table %q already registered", t.Name())
+	}
+	s.tables[t.Name()] = &tableEntry{table: t, cfg: opCfg}
+	return nil
+}
+
+// workerBusyTotal sums cumulative worker-busy time across the live
+// operators of every registered table — the CPU source for the meter.
+func (s *Server) workerBusyTotal() time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total time.Duration
+	for _, e := range s.tables {
+		if op, ok := s.reg.Lookup(e.table.RawFile()); ok {
+			total += op.CPU().Total()
+		}
+	}
+	return total
+}
+
+// batcherFor returns the coalescing batcher for a table, creating it on
+// first use (which also creates the table's operator).
+func (s *Server) batcherFor(e *tableEntry) *batcher {
+	s.mu.RLock()
+	b, ok := s.batchers[e.table.Name()]
+	s.mu.RUnlock()
+	if ok {
+		return b
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.batchers[e.table.Name()]; ok {
+		return b
+	}
+	b = &batcher{
+		srv:      s,
+		op:       s.reg.Operator(e.table, e.cfg),
+		window:   s.cfg.CoalesceWindow,
+		maxBatch: s.cfg.MaxBatch,
+	}
+	s.batchers[e.table.Name()] = b
+	return b
+}
+
+// Handler returns the HTTP handler serving /query, /metrics and /tables.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /tables", s.handleTables)
+	return mux
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// TimeoutMS bounds this query; zero falls back to the server default.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// queryStats is the per-query serving report attached to every result.
+type queryStats struct {
+	DurationMS      float64 `json:"duration_ms"`
+	BatchSize       int     `json:"batch_size"` // queries served by the same physical scan
+	ScanChunksCache int     `json:"scan_chunks_cache"`
+	ScanChunksDB    int     `json:"scan_chunks_db"`
+	ScanChunksRaw   int     `json:"scan_chunks_raw"`
+	ChunksDelivered int     `json:"chunks_delivered"` // to this query, after its skip filter
+	ChunksSkipped   int     `json:"chunks_skipped"`
+	ChunksLoaded    int     `json:"chunks_loaded"` // loaded into the database during the scan
+	Policy          string  `json:"policy"`
+}
+
+// queryResponse is the non-streaming POST /query reply.
+type queryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]any    `json:"rows"`
+	Stats   queryStats `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// fromTable scans the SQL text for the FROM table name so the query can be
+// bound against the right schema (the real parse happens with that schema).
+func fromTable(sql string) (string, error) {
+	fields := strings.Fields(sql)
+	for i, f := range fields {
+		if strings.EqualFold(f, "FROM") && i+1 < len(fields) {
+			return strings.Trim(fields[i+1], ","), nil
+		}
+	}
+	return "", fmt.Errorf("query has no FROM clause")
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var qr queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&qr); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(qr.SQL) == "" {
+		writeError(w, http.StatusBadRequest, "empty sql")
+		return
+	}
+	from, err := fromTable(qr.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	entry, ok := s.tables[from]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown table %q", from)
+		return
+	}
+	q, err := engine.ParseSQL(qr.SQL, entry.table.Schema())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ex, err := engine.NewExecutor(q, entry.table.Schema())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission control: take a worker slot or shed the query now. A 429
+	// is cheap for the client to retry; an unbounded queue is not.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.met.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server at capacity (%d queries in flight)", s.cfg.MaxConcurrent)
+		return
+	}
+	defer func() { <-s.slots }()
+	s.met.queries.Add(1)
+	s.met.policyCount(entry.cfg.Policy)
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if qr.TimeoutMS > 0 {
+		timeout = time.Duration(qr.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	p := &pending{ctx: ctx, q: q, ex: ex, result: make(chan pendingResult, 1)}
+	s.batcherFor(entry).submit(p)
+
+	var pr pendingResult
+	select {
+	case pr = <-p.result:
+	case <-ctx.Done():
+		// The batch will still deposit a result (the channel is buffered),
+		// but the client is gone or out of time — report and bail.
+		s.finishCancelled(w, ctx.Err())
+		return
+	}
+	if pr.err != nil {
+		if errors.Is(pr.err, ctx.Err()) && ctx.Err() != nil {
+			s.finishCancelled(w, ctx.Err())
+			return
+		}
+		s.met.failed.Add(1)
+		writeError(w, http.StatusInternalServerError, "%v", pr.err)
+		return
+	}
+
+	st := queryStats{
+		DurationMS:      float64(time.Since(start).Microseconds()) / 1000,
+		BatchSize:       pr.batchSize,
+		ScanChunksCache: pr.scan.DeliveredCache,
+		ScanChunksDB:    pr.scan.DeliveredDB,
+		ScanChunksRaw:   pr.scan.DeliveredRaw,
+		ChunksDelivered: pr.shared.DeliveredChunks,
+		ChunksSkipped:   pr.shared.SkippedChunks,
+		ChunksLoaded:    pr.scan.WrittenDuringRun,
+		Policy:          entry.cfg.Policy.String(),
+	}
+	if r.URL.Query().Get("stream") == "ndjson" {
+		s.writeNDJSON(w, pr.res, st)
+		return
+	}
+	rows := make([][]any, len(pr.res.Rows))
+	for i, row := range pr.res.Rows {
+		rows[i] = jsonRow(row)
+	}
+	writeJSON(w, http.StatusOK, queryResponse{Columns: pr.res.Cols, Rows: rows, Stats: st})
+}
+
+// finishCancelled accounts and reports a query cut short by its context.
+func (s *Server) finishCancelled(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.met.timedOut.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "query timed out")
+		return
+	}
+	// Client disconnect: the response writer is dead; account it only.
+	s.met.cancelled.Add(1)
+	writeError(w, statusClientClosedRequest, "query cancelled")
+}
+
+// statusClientClosedRequest is nginx's conventional status for a client
+// that went away before the response; nothing reads it, but logs do.
+const statusClientClosedRequest = 499
+
+// writeNDJSON streams a result as newline-delimited JSON: a columns
+// header, one line per row, and a stats trailer.
+func (s *Server) writeNDJSON(w http.ResponseWriter, res *engine.Result, st queryStats) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(map[string]any{"columns": res.Cols})
+	flusher, _ := w.(http.Flusher)
+	for i, row := range res.Rows {
+		_ = enc.Encode(jsonRow(row))
+		// Flush periodically so large results stream instead of buffering.
+		if flusher != nil && i%1024 == 1023 {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(map[string]any{"stats": st})
+}
+
+// jsonRow converts engine values into JSON-encodable scalars.
+func jsonRow(row []engine.Value) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		switch v.Typ {
+		case schema.Int64:
+			out[i] = v.Int
+		case schema.Float64:
+			out[i] = v.Float
+		default:
+			out[i] = v.Str
+		}
+	}
+	return out
+}
+
+// TableStatus is one GET /tables entry: catalog identity plus loading
+// progress.
+type TableStatus struct {
+	Name         string         `json:"name"`
+	Columns      []ColumnStatus `json:"columns"`
+	RawFile      string         `json:"raw_file"`
+	Chunks       int            `json:"chunks"`
+	LoadedChunks int            `json:"loaded_chunks"` // chunks with every column in the database
+	Complete     bool           `json:"complete"`      // all chunk boundaries known
+	FullyLoaded  bool           `json:"fully_loaded"`
+	LiveOperator bool           `json:"live_operator"`
+	Policy       string         `json:"policy"`
+}
+
+// ColumnStatus is one schema column of a served table.
+type ColumnStatus struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	entries := make([]*tableEntry, 0, len(s.tables))
+	for _, e := range s.tables {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	out := make([]TableStatus, 0, len(entries))
+	for _, e := range entries {
+		t := e.table
+		sch := t.Schema()
+		cols := make([]ColumnStatus, sch.NumColumns())
+		all := make([]int, sch.NumColumns())
+		for i := range cols {
+			c := sch.Column(i)
+			cols[i] = ColumnStatus{Name: c.Name, Type: c.Type.String()}
+			all[i] = i
+		}
+		_, live := s.reg.Lookup(t.RawFile())
+		out = append(out, TableStatus{
+			Name:         t.Name(),
+			Columns:      cols,
+			RawFile:      t.RawFile(),
+			Chunks:       t.NumChunks(),
+			LoadedChunks: t.CountLoaded(all),
+			Complete:     t.Complete(),
+			FullyLoaded:  t.FullyLoaded(),
+			LiveOperator: live,
+			Policy:       e.cfg.Policy.String(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}

@@ -1,0 +1,515 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/gen"
+	"scanraw/internal/scanraw"
+	"scanraw/internal/vdisk"
+)
+
+// serverEnv is a served table over a generated CSV plus a loopback HTTP
+// server in front of it.
+type serverEnv struct {
+	disk *vdisk.Disk
+	srv  *Server
+	ts   *httptest.Server
+	spec gen.CSVSpec
+	want int64 // SUM of every cell
+}
+
+func newServerEnv(t *testing.T, rows int, d *vdisk.Disk, cfg Config, opCfg scanraw.Config) *serverEnv {
+	t.Helper()
+	if d == nil {
+		d = vdisk.Unlimited()
+	}
+	spec := gen.CSVSpec{Rows: rows, Cols: 4, Seed: 42, MaxValue: 1000}
+	gen.Preload(d, "raw/data.csv", spec)
+	store := dbstore.NewStore(d)
+	table, err := store.CreateTable("data", spec.Schema(), "raw/data.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opCfg.ChunkLines == 0 {
+		opCfg.ChunkLines = 64
+	}
+	s := New(store, cfg)
+	if err := s.AddTable(table, opCfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	cols := make([]int, spec.Cols)
+	for i := range cols {
+		cols[i] = i
+	}
+	return &serverEnv{
+		disk: d, srv: s, ts: ts, spec: spec,
+		want: gen.SumRange(spec, cols, 0, spec.Rows),
+	}
+}
+
+const sumSQL = "SELECT SUM(c0+c1+c2+c3) FROM data"
+
+// postQuery POSTs a /query body and returns status plus decoded JSON.
+func postQuery(t *testing.T, env *serverEnv, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(env.ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// firstValue digs rows[0][0] out of a decoded query response.
+func firstValue(t *testing.T, out map[string]any) int64 {
+	t.Helper()
+	rows, ok := out["rows"].([]any)
+	if !ok || len(rows) == 0 {
+		t.Fatalf("no rows in response: %v", out)
+	}
+	row := rows[0].([]any)
+	return int64(row[0].(float64))
+}
+
+func TestQueryEndToEnd(t *testing.T) {
+	env := newServerEnv(t, 512, nil, Config{}, scanraw.Config{Workers: 2, CacheChunks: 8})
+	status, out := postQuery(t, env, fmt.Sprintf(`{"sql": %q}`, sumSQL))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %v", status, out)
+	}
+	if got := firstValue(t, out); got != env.want {
+		t.Errorf("sum = %d, want %d", got, env.want)
+	}
+	stats := out["stats"].(map[string]any)
+	if stats["batch_size"].(float64) < 1 {
+		t.Errorf("stats.batch_size = %v", stats["batch_size"])
+	}
+	// WHERE with a predicate still works through the serving path.
+	status, out = postQuery(t, env, `{"sql": "SELECT COUNT(*) FROM data WHERE c0 < 0"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %v", status, out)
+	}
+	if got := firstValue(t, out); got != 0 {
+		t.Errorf("count = %d, want 0", got)
+	}
+}
+
+func TestCoalescingSharesScan(t *testing.T) {
+	const clients = 8
+	env := newServerEnv(t, 1024, nil,
+		Config{MaxConcurrent: 16, CoalesceWindow: 50 * time.Millisecond},
+		scanraw.Config{Workers: 4, CacheChunks: 4, Policy: scanraw.Speculative, Safeguard: true})
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	sums := make([]int64, clients)
+	batchSizes := make([]int, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(env.ts.URL+"/query", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"sql": %q}`, sumSQL)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var out map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %v", resp.StatusCode, out)
+				return
+			}
+			rows := out["rows"].([]any)
+			sums[i] = int64(rows[0].([]any)[0].(float64))
+			batchSizes[i] = int(out["stats"].(map[string]any)["batch_size"].(float64))
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	shared := 0
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if sums[i] != env.want {
+			t.Errorf("client %d: sum = %d, want %d", i, sums[i], env.want)
+		}
+		if batchSizes[i] > 1 {
+			shared++
+		}
+	}
+	snap := env.srv.MetricsSnapshot()
+	if snap.Queries != clients {
+		t.Errorf("queries_total = %d, want %d", snap.Queries, clients)
+	}
+	if snap.PhysicalScans >= clients {
+		t.Errorf("physical scans = %d for %d queries: coalescing did not merge any",
+			snap.PhysicalScans, clients)
+	}
+	if shared == 0 || snap.CoalescedQueries == 0 {
+		t.Errorf("no query shared its scan (batch sizes %v, coalesced_total %d)",
+			batchSizes, snap.CoalescedQueries)
+	}
+}
+
+func TestAdmissionControlShedsWith429(t *testing.T) {
+	// One slot, slow disk: the first query occupies the server while the
+	// second arrives and must be shed immediately.
+	d := vdisk.New(vdisk.Config{ReadBandwidth: 1 << 18, WriteBandwidth: 1 << 18})
+	env := newServerEnv(t, 4096, d,
+		Config{MaxConcurrent: 1, CoalesceWindow: -1},
+		scanraw.Config{Workers: 2, ChunkLines: 256, CacheChunks: 2})
+
+	firstDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(env.ts.URL+"/query", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"sql": %q}`, sumSQL)))
+		if err != nil {
+			firstDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			firstDone <- fmt.Errorf("first query status %d", resp.StatusCode)
+			return
+		}
+		firstDone <- nil
+	}()
+
+	// Wait until the first query holds the admission slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(env.srv.slots) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first query never took the admission slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(env.ts.URL+"/query", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"sql": %q}`, sumSQL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("second query status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response lacks Retry-After")
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	if snap := env.srv.MetricsSnapshot(); snap.Rejected == 0 {
+		t.Errorf("rejected_total = %d, want > 0", snap.Rejected)
+	}
+}
+
+func TestDisconnectCancelsScanAndFreesDisk(t *testing.T) {
+	d := vdisk.New(vdisk.Config{ReadBandwidth: 1 << 18, WriteBandwidth: 1 << 18})
+	env := newServerEnv(t, 4096, d,
+		Config{MaxConcurrent: 4},
+		scanraw.Config{Workers: 2, ChunkLines: 256, CacheChunks: 2})
+
+	// A client starts a slow scan, then walks away mid-query.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, env.ts.URL+"/query",
+		strings.NewReader(fmt.Sprintf(`{"sql": %q}`, sumSQL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("request should have failed with a cancelled context")
+	}
+
+	// The abandoned scan must wind down, release the disk accessor and the
+	// operator's run mutex, and get accounted as cancelled.
+	deadline := time.Now().Add(5 * time.Second)
+	for env.srv.MetricsSnapshot().Cancelled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled_total never incremented")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A fresh query runs to completion with the right answer.
+	status, out := postQuery(t, env, fmt.Sprintf(`{"sql": %q}`, sumSQL))
+	if status != http.StatusOK {
+		t.Fatalf("follow-up status = %d: %v", status, out)
+	}
+	if got := firstValue(t, out); got != env.want {
+		t.Errorf("follow-up sum = %d, want %d", got, env.want)
+	}
+}
+
+func TestQueryTimeoutReturns504(t *testing.T) {
+	d := vdisk.New(vdisk.Config{ReadBandwidth: 1 << 18, WriteBandwidth: 1 << 18})
+	env := newServerEnv(t, 4096, d,
+		Config{},
+		scanraw.Config{Workers: 2, ChunkLines: 256, CacheChunks: 2})
+	status, out := postQuery(t, env, fmt.Sprintf(`{"sql": %q, "timeout_ms": 5}`, sumSQL))
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %v", status, out)
+	}
+	if snap := env.srv.MetricsSnapshot(); snap.TimedOut == 0 {
+		t.Errorf("timed_out_total = %d, want > 0", snap.TimedOut)
+	}
+	// Timed-out pipeline released everything: retry without a limit works.
+	status, out = postQuery(t, env, fmt.Sprintf(`{"sql": %q}`, sumSQL))
+	if status != http.StatusOK {
+		t.Fatalf("retry status = %d: %v", status, out)
+	}
+	if got := firstValue(t, out); got != env.want {
+		t.Errorf("retry sum = %d, want %d", got, env.want)
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	env := newServerEnv(t, 128, nil, Config{}, scanraw.Config{Workers: 2})
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{`, http.StatusBadRequest},                                        // malformed JSON
+		{`{"sql": ""}`, http.StatusBadRequest},                              // empty SQL
+		{`{"sql": "SELECT SUM(c0)"}`, http.StatusBadRequest},                // no FROM
+		{`{"sql": "SELECT SUM(c0) FROM nope"}`, http.StatusNotFound},        // unknown table
+		{`{"sql": "SELECT SUM(missing) FROM data"}`, http.StatusBadRequest}, // bad column
+	}
+	for _, c := range cases {
+		status, out := postQuery(t, env, c.body)
+		if status != c.want {
+			t.Errorf("body %s: status = %d, want %d (%v)", c.body, status, c.want, out)
+		}
+		if _, ok := out["error"]; !ok {
+			t.Errorf("body %s: error response lacks error field: %v", c.body, out)
+		}
+	}
+}
+
+func TestNDJSONStreaming(t *testing.T) {
+	env := newServerEnv(t, 256, nil, Config{}, scanraw.Config{Workers: 2})
+	resp, err := http.Post(env.ts.URL+"/query?stream=ndjson", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"sql": %q}`, sumSQL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var lines []map[string]any
+	var rows [][]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if bytes.HasPrefix(line, []byte("[")) {
+			var row []any
+			if err := json.Unmarshal(line, &row); err != nil {
+				t.Fatalf("row line %s: %v", line, err)
+			}
+			rows = append(rows, row)
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			t.Fatalf("line %s: %v", line, err)
+		}
+		lines = append(lines, obj)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("want columns header + stats trailer, got %d objects", len(lines))
+	}
+	if _, ok := lines[0]["columns"]; !ok {
+		t.Errorf("first line is not a columns header: %v", lines[0])
+	}
+	if _, ok := lines[1]["stats"]; !ok {
+		t.Errorf("last line is not a stats trailer: %v", lines[1])
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	if got := int64(rows[0][0].(float64)); got != env.want {
+		t.Errorf("streamed sum = %d, want %d", got, env.want)
+	}
+}
+
+func TestTablesEndpoint(t *testing.T) {
+	env := newServerEnv(t, 256, nil, Config{},
+		scanraw.Config{Workers: 2, Policy: scanraw.FullLoad, Safeguard: true})
+	// Before any query: catalog known, nothing loaded, no live operator.
+	resp, err := http.Get(env.ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []TableStatus
+	if err := json.NewDecoder(resp.Body).Decode(&tables); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(tables) != 1 || tables[0].Name != "data" {
+		t.Fatalf("tables = %+v", tables)
+	}
+	if tables[0].LiveOperator || tables[0].FullyLoaded {
+		t.Errorf("fresh table reports live=%v loaded=%v", tables[0].LiveOperator, tables[0].FullyLoaded)
+	}
+	if len(tables[0].Columns) != 4 || tables[0].Columns[0].Name != "c0" {
+		t.Errorf("columns = %+v", tables[0].Columns)
+	}
+
+	if status, out := postQuery(t, env, fmt.Sprintf(`{"sql": %q}`, sumSQL)); status != http.StatusOK {
+		t.Fatalf("query status = %d: %v", status, out)
+	}
+	// Loading may finish on the background flusher; wait it out before
+	// asserting the catalog view.
+	if op, ok := env.srv.Registry().Lookup("raw/data.csv"); ok {
+		op.WaitIdle()
+	}
+
+	resp, err = http.Get(env.ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tables); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !tables[0].Complete || tables[0].Chunks != 4 {
+		t.Errorf("after full-load query: complete=%v chunks=%d", tables[0].Complete, tables[0].Chunks)
+	}
+	if !tables[0].FullyLoaded || tables[0].LoadedChunks != 4 {
+		t.Errorf("after full-load query: fully_loaded=%v loaded=%d", tables[0].FullyLoaded, tables[0].LoadedChunks)
+	}
+}
+
+// TestConcurrentClientsEndToEnd is the acceptance scenario: many
+// concurrent clients over loopback against one raw CSV — every client
+// gets the right aggregate, the server performs fewer physical scans than
+// it serves queries, and the metrics snapshot is populated.
+func TestConcurrentClientsEndToEnd(t *testing.T) {
+	const clients = 12
+	env := newServerEnv(t, 2048, nil,
+		Config{MaxConcurrent: clients, CoalesceWindow: 40 * time.Millisecond},
+		scanraw.Config{Workers: 4, ChunkLines: 256, CacheChunks: 8,
+			Policy: scanraw.Speculative, Safeguard: true, CollectStats: true})
+
+	type result struct {
+		got  int64
+		want int64
+		err  error
+	}
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			sql, want := sumSQL, env.want
+			if i%2 == 1 {
+				sql, want = "SELECT COUNT(*) FROM data", int64(env.spec.Rows)
+			}
+			resp, err := http.Post(env.ts.URL+"/query", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"sql": %q}`, sql)))
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var out map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				results[i] = result{err: fmt.Errorf("status %d: %v", resp.StatusCode, out)}
+				return
+			}
+			rows := out["rows"].([]any)
+			results[i] = result{got: int64(rows[0].([]any)[0].(float64)), want: want}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("client %d: %v", i, r.err)
+		}
+		if r.got != r.want {
+			t.Errorf("client %d: got %d, want %d", i, r.got, r.want)
+		}
+	}
+
+	snap := env.srv.MetricsSnapshot()
+	if snap.Queries != clients {
+		t.Errorf("queries_total = %d, want %d", snap.Queries, clients)
+	}
+	if snap.PhysicalScans >= clients {
+		t.Errorf("physical_scans_total = %d, want < %d queries", snap.PhysicalScans, clients)
+	}
+	if snap.ChunksDelivered.Raw == 0 {
+		t.Error("no chunks delivered from the raw file")
+	}
+	if snap.Tables != 1 || snap.LiveOperators != 1 {
+		t.Errorf("tables = %d, live_operators = %d", snap.Tables, snap.LiveOperators)
+	}
+	if len(snap.QueriesByPolicy) == 0 {
+		t.Error("queries_by_policy is empty")
+	}
+
+	// The /metrics endpoint itself serves the same snapshot as JSON.
+	resp, err := http.Get(env.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"queries_total", "physical_scans_total", "worker_busy_percent",
+		"disk_busy_percent", "cache_hit_rate", "chunks_delivered", "queries_by_policy"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("/metrics lacks %q", key)
+		}
+	}
+	if m["queries_total"].(float64) != clients {
+		t.Errorf("/metrics queries_total = %v", m["queries_total"])
+	}
+}
