@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race
+.PHONY: check fmt vet build test race bench
 
 check: fmt vet build test race
 
@@ -23,6 +23,12 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages additionally run under the race
-# detector: the operator pipeline/registry and the query server.
+# detector: the operator pipeline/registry, the query server, and the
+# engine (parallel partial executors + differential test).
 race:
-	$(GO) test -race ./internal/scanraw/... ./internal/server/...
+	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/...
+
+# bench runs the benchmark suite across the hot packages and records the
+# raw output in BENCH_pr2.json (see README).
+bench:
+	@./scripts/bench.sh

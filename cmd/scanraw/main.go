@@ -76,6 +76,7 @@ func main() {
 		samMode   = flag.Bool("sam", false, "use the SAM schema and tab delimiter")
 		policyStr = flag.String("policy", "speculative", "write policy")
 		workers   = flag.Int("workers", 8, "worker threads (0 = sequential)")
+		consumeW  = flag.Int("consume-workers", 1, "consume goroutines per query (parallel evaluation)")
 		chunk     = flag.Int("chunk", 1<<13, "lines per chunk")
 		cacheSz   = flag.Int("cache", 32, "binary cache capacity in chunks")
 		diskMBps  = flag.Int("disk", 400, "simulated disk bandwidth in MB/s (0 = unthrottled)")
@@ -123,13 +124,14 @@ func main() {
 
 	reg := scanraw.NewRegistry(store)
 	opCfg := scanraw.Config{
-		Workers:      *workers,
-		ChunkLines:   *chunk,
-		CacheChunks:  *cacheSz,
-		Policy:       policy,
-		Safeguard:    true,
-		Delim:        delimByte,
-		CollectStats: *stats,
+		Workers:        *workers,
+		ChunkLines:     *chunk,
+		CacheChunks:    *cacheSz,
+		Policy:         policy,
+		Safeguard:      true,
+		Delim:          delimByte,
+		CollectStats:   *stats,
+		ConsumeWorkers: *consumeW,
 	}
 	runOne := func(sql string) error {
 		ctx := context.Background()

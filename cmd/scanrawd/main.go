@@ -105,6 +105,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		policyStr  = flag.String("policy", "speculative", "write policy")
 		workers    = flag.Int("workers", 8, "worker threads per operator (0 = sequential)")
+		consumeW   = flag.Int("consume-workers", 1, "consume goroutines per query (parallel evaluation)")
 		chunkLines = flag.Int("chunk", 1<<13, "lines per chunk")
 		cacheSz    = flag.Int("cache", 32, "binary cache capacity in chunks")
 		diskMBps   = flag.Int("disk", 0, "simulated disk bandwidth in MB/s (0 = unthrottled)")
@@ -186,13 +187,14 @@ func main() {
 			log.Fatalf("scanrawd: %v", err)
 		}
 		if err := srv.AddTable(table, scanraw.Config{
-			Workers:      *workers,
-			ChunkLines:   *chunkLines,
-			CacheChunks:  *cacheSz,
-			Policy:       policy,
-			Safeguard:    true,
-			Delim:        delim,
-			CollectStats: *stats,
+			Workers:        *workers,
+			ChunkLines:     *chunkLines,
+			CacheChunks:    *cacheSz,
+			Policy:         policy,
+			Safeguard:      true,
+			Delim:          delim,
+			CollectStats:   *stats,
+			ConsumeWorkers: *consumeW,
 		}); err != nil {
 			log.Fatalf("scanrawd: %v", err)
 		}

@@ -88,6 +88,7 @@ func BenchmarkFilteredCount(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ex, err := NewExecutor(q, bc.Schema())

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -222,21 +221,21 @@ type group struct {
 }
 
 // Executor consumes binary chunks and produces a Result. It implements
-// both scalar/grouped aggregation and plain filtering/projection.
+// both scalar/grouped aggregation and plain filtering/projection. An
+// Executor is a thin serial wrapper over a single Partial, so the serial
+// and parallel (ParallelExecutor) paths share one evaluation code path and
+// agree by construction; only the merge step differs.
 type Executor struct {
-	q      *Query
-	sch    *schema.Schema
-	groups map[string]*group // aggregate path
-	rows   [][]Value         // non-aggregate path
-	done   bool
+	p *Partial
 }
 
 // NewExecutor validates q and builds an executor.
 func NewExecutor(q *Query, sch *schema.Schema) (*Executor, error) {
-	if err := q.Validate(); err != nil {
+	p, err := NewPartial(q, sch)
+	if err != nil {
 		return nil, err
 	}
-	return &Executor{q: q, sch: sch, groups: make(map[string]*group)}, nil
+	return &Executor{p: p}, nil
 }
 
 // ConsumeContext folds one chunk into the running result after checking
@@ -245,44 +244,20 @@ func NewExecutor(q *Query, sch *schema.Schema) (*Executor, error) {
 // calls it once per chunk, so a cancelled context stops execution at the
 // next chunk boundary.
 func (e *Executor) ConsumeContext(ctx context.Context, bc *chunk.BinaryChunk) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	return e.Consume(bc)
+	return e.p.ConsumeContext(ctx, bc)
 }
 
-// Consume folds one chunk into the running result.
+// Consume folds one chunk into the running result. Executor is
+// single-consumer: calls must not overlap.
 func (e *Executor) Consume(bc *chunk.BinaryChunk) error {
-	if e.done {
-		return fmt.Errorf("engine: Consume after Result")
-	}
-	sel, err := e.selection(bc)
-	if err != nil {
-		return err
-	}
-	if e.q.IsAggregate() {
-		return e.consumeAgg(bc, sel)
-	}
-	return e.consumeRows(bc, sel)
+	return e.p.Consume(bc)
 }
 
-// selection evaluates WHERE and returns the qualifying row ordinals (nil
-// means all rows qualify).
-func (e *Executor) selection(bc *chunk.BinaryChunk) ([]int, error) {
-	if e.q.Where == nil {
-		return nil, nil
-	}
-	v, err := e.q.Where.Eval(bc)
-	if err != nil {
-		return nil, err
-	}
-	sel := make([]int, 0, bc.Rows)
-	for i, x := range v.Ints {
-		if x != 0 {
-			sel = append(sel, i)
-		}
-	}
-	return sel, nil
+// Result materializes the final result. For grouped queries rows are
+// ordered by group key for determinism; a scalar aggregate over zero rows
+// yields one row of zero/NaN values.
+func (e *Executor) Result() (*Result, error) {
+	return e.p.Result()
 }
 
 func valueAt(v *chunk.Vector, i int) Value {
@@ -294,82 +269,6 @@ func valueAt(v *chunk.Vector, i int) Value {
 	default:
 		return StrValue(v.Strs[i])
 	}
-}
-
-func (e *Executor) consumeAgg(bc *chunk.BinaryChunk, sel []int) error {
-	if sel != nil && len(sel) == 0 {
-		return nil
-	}
-	// Evaluate group-by keys and aggregate inputs once per chunk.
-	keyVecs := make([]*chunk.Vector, len(e.q.GroupBy))
-	for i, g := range e.q.GroupBy {
-		v, err := g.Eval(bc)
-		if err != nil {
-			return err
-		}
-		keyVecs[i] = v
-	}
-	aggVecs := make([]*chunk.Vector, len(e.q.Items))
-	for i, it := range e.q.Items {
-		if it.Expr != nil {
-			v, err := it.Expr.Eval(bc)
-			if err != nil {
-				return err
-			}
-			aggVecs[i] = v
-		}
-	}
-	if len(keyVecs) == 0 {
-		// Scalar aggregation: one group, bulk loops over the vectors.
-		// This is the hot path for the paper's SUM benchmark query; it
-		// must stay cheap enough that SCANRAW, not the engine, is the
-		// measured component.
-		g, ok := e.groups[""]
-		if !ok {
-			g = &group{aggs: make([]aggState, len(e.q.Items))}
-			e.groups[""] = g
-		}
-		for i, it := range e.q.Items {
-			if it.Agg == AggNone {
-				continue
-			}
-			updateAggBulk(&g.aggs[i], aggVecs[i], bc.Rows, sel)
-		}
-		return nil
-	}
-	// Grouped aggregation: build compact keys with strconv (no fmt, no
-	// per-row allocation beyond new groups).
-	var kb []byte
-	rowCount := bc.Rows
-	if sel != nil {
-		rowCount = len(sel)
-	}
-	for ri := 0; ri < rowCount; ri++ {
-		r := ri
-		if sel != nil {
-			r = sel[ri]
-		}
-		kb = kb[:0]
-		for _, kv := range keyVecs {
-			kb = appendKey(kb, kv, r)
-		}
-		g, ok := e.groups[string(kb)]
-		if !ok {
-			keys := make([]Value, len(keyVecs))
-			for i, kv := range keyVecs {
-				keys[i] = valueAt(kv, r)
-			}
-			g = &group{keys: keys, aggs: make([]aggState, len(e.q.Items))}
-			e.groups[string(kb)] = g
-		}
-		for i, it := range e.q.Items {
-			if it.Agg == AggNone {
-				continue
-			}
-			updateAggRow(&g.aggs[i], aggVecs[i], r)
-		}
-	}
-	return nil
 }
 
 // appendKey appends a self-delimiting encoding of row r of the key vector.
@@ -491,136 +390,43 @@ func updateAggBulk(st *aggState, v *chunk.Vector, rows int, sel []int) {
 	}
 }
 
-func (e *Executor) consumeRows(bc *chunk.BinaryChunk, sel []int) error {
-	// With ORDER BY every qualifying row must be seen before the limit
-	// can apply; without it the limit short-circuits row collection.
-	earlyLimit := e.q.Limit > 0 && len(e.q.OrderBy) == 0
-	if earlyLimit && len(e.rows) >= e.q.Limit {
-		return nil
-	}
-	vecs := make([]*chunk.Vector, len(e.q.Items))
-	for i, it := range e.q.Items {
-		v, err := it.Expr.Eval(bc)
-		if err != nil {
-			return err
+// finalizeAgg converts one finished aggregate state into its output value;
+// t is the aggregated expression's type (zero for COUNT(*)).
+func finalizeAgg(f AggFunc, t schema.Type, st aggState) Value {
+	switch f {
+	case AggCount:
+		return IntValue(st.count)
+	case AggSum:
+		if t == schema.Float64 {
+			return FloatValue(st.sumFloat)
 		}
-		vecs[i] = v
-	}
-	emit := func(r int) {
-		row := make([]Value, len(vecs))
-		for i, v := range vecs {
-			row[i] = valueAt(v, r)
+		return IntValue(st.sumInt)
+	case AggAvg:
+		if st.count == 0 {
+			return FloatValue(math.NaN())
 		}
-		e.rows = append(e.rows, row)
-	}
-	if sel == nil {
-		for r := 0; r < bc.Rows; r++ {
-			if earlyLimit && len(e.rows) >= e.q.Limit {
-				break
-			}
-			emit(r)
+		if t == schema.Float64 {
+			return FloatValue(st.sumFloat / float64(st.count))
 		}
-	} else {
-		for _, r := range sel {
-			if earlyLimit && len(e.rows) >= e.q.Limit {
-				break
-			}
-			emit(r)
+		return FloatValue(float64(st.sumInt) / float64(st.count))
+	case AggMin:
+		switch t {
+		case schema.Int64:
+			return IntValue(st.minI)
+		case schema.Float64:
+			return FloatValue(st.minF)
+		default:
+			return StrValue(st.minS)
 		}
-	}
-	return nil
-}
-
-// finalize converts one group's aggregate state into output values.
-func (e *Executor) finalize(g *group) []Value {
-	row := make([]Value, len(e.q.Items))
-	keyIdx := map[string]int{}
-	for i, gb := range e.q.GroupBy {
-		keyIdx[gb.String()] = i
-	}
-	for i, it := range e.q.Items {
-		if it.Agg == AggNone {
-			row[i] = g.keys[keyIdx[it.Expr.String()]]
-			continue
-		}
-		st := g.aggs[i]
-		var t schema.Type
-		if it.Expr != nil {
-			t = it.Expr.Type()
-		}
-		switch it.Agg {
-		case AggCount:
-			row[i] = IntValue(st.count)
-		case AggSum:
-			if t == schema.Float64 {
-				row[i] = FloatValue(st.sumFloat)
-			} else {
-				row[i] = IntValue(st.sumInt)
-			}
-		case AggAvg:
-			if st.count == 0 {
-				row[i] = FloatValue(math.NaN())
-			} else if t == schema.Float64 {
-				row[i] = FloatValue(st.sumFloat / float64(st.count))
-			} else {
-				row[i] = FloatValue(float64(st.sumInt) / float64(st.count))
-			}
-		case AggMin:
-			switch t {
-			case schema.Int64:
-				row[i] = IntValue(st.minI)
-			case schema.Float64:
-				row[i] = FloatValue(st.minF)
-			default:
-				row[i] = StrValue(st.minS)
-			}
-		case AggMax:
-			switch t {
-			case schema.Int64:
-				row[i] = IntValue(st.maxI)
-			case schema.Float64:
-				row[i] = FloatValue(st.maxF)
-			default:
-				row[i] = StrValue(st.maxS)
-			}
+	case AggMax:
+		switch t {
+		case schema.Int64:
+			return IntValue(st.maxI)
+		case schema.Float64:
+			return FloatValue(st.maxF)
+		default:
+			return StrValue(st.maxS)
 		}
 	}
-	return row
-}
-
-// Result materializes the final result. For grouped queries rows are
-// ordered by group key for determinism; a scalar aggregate over zero rows
-// yields one row of zero/NaN values.
-func (e *Executor) Result() (*Result, error) {
-	e.done = true
-	res := &Result{Cols: make([]string, len(e.q.Items))}
-	for i, it := range e.q.Items {
-		res.Cols[i] = it.Name()
-	}
-	if !e.q.IsAggregate() {
-		res.Rows = e.rows
-		sortRows(res.Rows, e.q.OrderBy)
-		if e.q.Limit > 0 && len(res.Rows) > e.q.Limit {
-			res.Rows = res.Rows[:e.q.Limit]
-		}
-		return res, nil
-	}
-	if len(e.q.GroupBy) == 0 && len(e.groups) == 0 {
-		// Scalar aggregate over the empty input.
-		e.groups[""] = &group{aggs: make([]aggState, len(e.q.Items))}
-	}
-	keys := make([]string, 0, len(e.groups))
-	for k := range e.groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		res.Rows = append(res.Rows, e.finalize(e.groups[k]))
-	}
-	res.Rows = filterRows(res.Rows, e.q.Having)
-	sortRows(res.Rows, e.q.OrderBy)
-	if e.q.Limit > 0 && len(res.Rows) > e.q.Limit {
-		res.Rows = res.Rows[:e.q.Limit]
-	}
-	return res, nil
+	return Value{}
 }

@@ -24,12 +24,28 @@ type Expr interface {
 	// Type returns the result type of the expression.
 	Type() schema.Type
 	// Eval evaluates the expression over every row of the chunk. Boolean
-	// results are Int64 vectors of 0/1.
+	// results are Int64 vectors of 0/1. Results of every node except bare
+	// column references are pooled scratch vectors: the caller owns the
+	// returned vector and hands it back via releaseScratch once its values
+	// have been consumed.
 	Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error)
 	// Columns appends the schema ordinals the expression reads to dst.
 	Columns(dst []int) []int
 	// String renders the expression in SQL-ish syntax.
 	String() string
+}
+
+// releaseScratch returns an Eval result to the vector pool. Bare column
+// references alias the chunk's own vectors (cacheable, shared across
+// queries) and are left alone.
+func releaseScratch(e Expr, v *chunk.Vector) {
+	if v == nil {
+		return
+	}
+	if _, isCol := e.(*Col); isCol {
+		return
+	}
+	chunk.PutVector(v)
 }
 
 // Col references a table column by ordinal.
@@ -88,7 +104,7 @@ func (c *Const) Type() schema.Type { return c.Typ }
 
 // Eval implements Expr.
 func (c *Const) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
-	v := chunk.NewVector(c.Typ, bc.Rows)
+	v := chunk.GetVector(c.Typ, bc.Rows)
 	switch c.Typ {
 	case schema.Int64:
 		for i := range v.Ints {
@@ -169,11 +185,14 @@ func (a *Arith) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
 	}
 	r, err := a.R.Eval(bc)
 	if err != nil {
+		releaseScratch(a.L, l)
 		return nil, err
 	}
+	defer releaseScratch(a.L, l)
+	defer releaseScratch(a.R, r)
 	n := bc.Rows
 	if a.Type() == schema.Int64 {
-		out := chunk.NewVector(schema.Int64, n)
+		out := chunk.GetVector(schema.Int64, n)
 		for i := 0; i < n; i++ {
 			x, y := l.Ints[i], r.Ints[i]
 			switch a.Op {
@@ -185,11 +204,13 @@ func (a *Arith) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
 				out.Ints[i] = x * y
 			case OpDiv:
 				if y == 0 {
+					chunk.PutVector(out)
 					return nil, fmt.Errorf("engine: division by zero at row %d", i)
 				}
 				out.Ints[i] = x / y
 			case OpMod:
 				if y == 0 {
+					chunk.PutVector(out)
 					return nil, fmt.Errorf("engine: modulo by zero at row %d", i)
 				}
 				out.Ints[i] = x % y
@@ -197,9 +218,11 @@ func (a *Arith) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
 		}
 		return out, nil
 	}
-	lf := asFloats(l)
-	rf := asFloats(r)
-	out := chunk.NewVector(schema.Float64, n)
+	lf, lscratch := asFloats(l)
+	rf, rscratch := asFloats(r)
+	defer chunk.PutVector(lscratch)
+	defer chunk.PutVector(rscratch)
+	out := chunk.GetVector(schema.Float64, n)
 	for i := 0; i < n; i++ {
 		x, y := lf[i], rf[i]
 		switch a.Op {
@@ -211,6 +234,7 @@ func (a *Arith) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
 			out.Floats[i] = x * y
 		case OpDiv:
 			if y == 0 {
+				chunk.PutVector(out)
 				return nil, fmt.Errorf("engine: division by zero at row %d", i)
 			}
 			out.Floats[i] = x / y
@@ -219,15 +243,18 @@ func (a *Arith) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
 	return out, nil
 }
 
-func asFloats(v *chunk.Vector) []float64 {
+// asFloats widens an Int64 vector to float64. When a conversion is needed
+// the backing storage comes from the pool; the second result is the scratch
+// vector the caller must release (nil when v was already float-typed).
+func asFloats(v *chunk.Vector) ([]float64, *chunk.Vector) {
 	if v.Type == schema.Float64 {
-		return v.Floats
+		return v.Floats, nil
 	}
-	out := make([]float64, len(v.Ints))
+	s := chunk.GetVector(schema.Float64, len(v.Ints))
 	for i, x := range v.Ints {
-		out[i] = float64(x)
+		s.Floats[i] = float64(x)
 	}
-	return out
+	return s.Floats, s
 }
 
 // Columns implements Expr.
@@ -279,15 +306,20 @@ func (c *Cmp) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
 	}
 	r, err := c.R.Eval(bc)
 	if err != nil {
+		releaseScratch(c.L, l)
 		return nil, err
 	}
+	defer releaseScratch(c.L, l)
+	defer releaseScratch(c.R, r)
 	n := bc.Rows
-	out := chunk.NewVector(schema.Int64, n)
-	sign := make([]int, n)
+	out := chunk.GetVector(schema.Int64, n)
+	signv := chunk.GetVector(schema.Int64, n)
+	defer chunk.PutVector(signv)
+	sign := signv.Ints
 	switch {
 	case l.Type == schema.Str:
 		for i := 0; i < n; i++ {
-			sign[i] = strings.Compare(l.Strs[i], r.Strs[i])
+			sign[i] = int64(strings.Compare(l.Strs[i], r.Strs[i]))
 		}
 	case l.Type == schema.Int64 && r.Type == schema.Int64:
 		for i := 0; i < n; i++ {
@@ -299,7 +331,8 @@ func (c *Cmp) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
 			}
 		}
 	default:
-		lf, rf := asFloats(l), asFloats(r)
+		lf, lscratch := asFloats(l)
+		rf, rscratch := asFloats(r)
 		for i := 0; i < n; i++ {
 			switch {
 			case lf[i] < rf[i]:
@@ -308,6 +341,8 @@ func (c *Cmp) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
 				sign[i] = 1
 			}
 		}
+		chunk.PutVector(lscratch)
+		chunk.PutVector(rscratch)
 	}
 	for i := 0; i < n; i++ {
 		var b bool
@@ -373,7 +408,8 @@ func (l *Logic) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := chunk.NewVector(schema.Int64, bc.Rows)
+	defer releaseScratch(l.L, lv)
+	out := chunk.GetVector(schema.Int64, bc.Rows)
 	if l.Op == OpNot {
 		for i := range out.Ints {
 			if lv.Ints[i] == 0 {
@@ -384,8 +420,10 @@ func (l *Logic) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
 	}
 	rv, err := l.R.Eval(bc)
 	if err != nil {
+		chunk.PutVector(out)
 		return nil, err
 	}
+	defer releaseScratch(l.R, rv)
 	for i := range out.Ints {
 		a, b := lv.Ints[i] != 0, rv.Ints[i] != 0
 		var r bool
@@ -444,7 +482,8 @@ func (l *Like) Eval(bc *chunk.BinaryChunk) (*chunk.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := chunk.NewVector(schema.Int64, bc.Rows)
+	defer releaseScratch(l.E, v)
+	out := chunk.GetVector(schema.Int64, bc.Rows)
 	for i, s := range v.Strs {
 		m := likeMatch(s, l.Pattern)
 		if m != l.Negate {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"scanraw/internal/schema"
@@ -40,7 +41,10 @@ func resolveOrderKey(items []SelectItem, name string, ordinal int) (int, error) 
 	return 0, fmt.Errorf("engine: ORDER BY key %q does not name a select-list column", name)
 }
 
-// compareValues orders two result cells of the same type.
+// compareValues orders two result cells of the same type. Floats use a
+// total order (NaN sorts before every number and equals itself) so sorting
+// stays transitive — and therefore deterministic — whatever order partial
+// executors contributed rows in.
 func compareValues(a, b Value) int {
 	switch a.Typ {
 	case schema.Int64:
@@ -55,6 +59,16 @@ func compareValues(a, b Value) int {
 		case a.Float < b.Float:
 			return -1
 		case a.Float > b.Float:
+			return 1
+		case a.Float == b.Float:
+			return 0
+		}
+		// At least one side is NaN.
+		an, bn := math.IsNaN(a.Float), math.IsNaN(b.Float)
+		switch {
+		case an && !bn:
+			return -1
+		case bn && !an:
 			return 1
 		}
 	case schema.Str:

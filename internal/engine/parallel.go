@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/schema"
+)
+
+// ParallelExecutor evaluates a query with N mergeable partials and admits
+// concurrent Consume calls: each call checks out an idle partial from a
+// pool, folds the chunk into it, and returns it. Up to N chunks are
+// evaluated simultaneously; the N+1th caller blocks until a partial frees
+// up, which is the natural backpressure for delivery fan-out.
+//
+// Result drains the pool — waiting for in-flight Consume calls to finish —
+// then merges all partials and finalizes, producing the same result as a
+// serial Executor over the same chunks (see Partial for the determinism
+// contract and the float-summation caveat).
+type ParallelExecutor struct {
+	q    *Query
+	pool chan *Partial
+	all  []*Partial
+	done atomic.Bool
+}
+
+// NewParallelExecutor validates q and builds an executor with `workers`
+// partials (at least one).
+func NewParallelExecutor(q *Query, sch *schema.Schema, workers int) (*ParallelExecutor, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	pe := &ParallelExecutor{
+		q:    q,
+		pool: make(chan *Partial, workers),
+		all:  make([]*Partial, workers),
+	}
+	for i := range pe.all {
+		p, err := NewPartial(q, sch)
+		if err != nil {
+			return nil, err
+		}
+		pe.all[i] = p
+		pe.pool <- p
+	}
+	return pe, nil
+}
+
+// Query returns the query the executor evaluates.
+func (pe *ParallelExecutor) Query() *Query { return pe.q }
+
+// Workers returns the number of partials (the consume concurrency bound).
+func (pe *ParallelExecutor) Workers() int { return len(pe.all) }
+
+// Consume folds one chunk into an idle partial. Safe to call from many
+// goroutines concurrently.
+func (pe *ParallelExecutor) Consume(bc *chunk.BinaryChunk) error {
+	if pe.done.Load() {
+		return fmt.Errorf("engine: Consume after Result")
+	}
+	p := <-pe.pool
+	err := p.Consume(bc)
+	pe.pool <- p
+	return err
+}
+
+// ConsumeContext is Consume with a cancellation check at the chunk
+// boundary.
+func (pe *ParallelExecutor) ConsumeContext(ctx context.Context, bc *chunk.BinaryChunk) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return pe.Consume(bc)
+}
+
+// Result waits for in-flight Consume calls, merges every partial, and
+// materializes the final result. Partials are merged in creation order so
+// the merge sequence does not depend on scheduling (chunk→partial
+// assignment still does; see Partial on float summation).
+func (pe *ParallelExecutor) Result() (*Result, error) {
+	if pe.done.Swap(true) {
+		return nil, fmt.Errorf("engine: Result called twice")
+	}
+	// Every Consume that started before done was set will return its
+	// partial; draining the pool is the rendezvous.
+	for range pe.all {
+		<-pe.pool
+	}
+	root := pe.all[0]
+	for _, p := range pe.all[1:] {
+		if err := root.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	return root.Result()
+}

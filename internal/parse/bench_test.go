@@ -1,10 +1,12 @@
 package parse
 
 import (
+	"strconv"
 	"testing"
 
 	"scanraw/internal/chunk"
 	"scanraw/internal/gen"
+	"scanraw/internal/schema"
 	"scanraw/internal/tok"
 )
 
@@ -43,6 +45,7 @@ func BenchmarkParseChunk64(b *testing.B) {
 func BenchmarkParseSelective4of64(b *testing.B) {
 	tc, pm, p, _ := benchChunk(b, 64)
 	b.SetBytes(int64(len(tc.Data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Parse(tc, pm, []int{0, 1, 2, 3}); err != nil {
@@ -57,9 +60,61 @@ func BenchmarkParseInt(b *testing.B) {
 		[]byte("0"), []byte("42"), []byte("123456789"),
 		[]byte("2147483647"), []byte("-987654321"),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ParseInt(inputs[i%len(inputs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseFloat measures the hot atof conversion — zero allocations
+// per cell is the contract (the bytes are viewed, not copied).
+func BenchmarkParseFloat(b *testing.B) {
+	inputs := [][]byte{
+		[]byte("0"), []byte("3.25"), []byte("-12345.75"),
+		[]byte("1e9"), []byte("2.718281828459045"),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFloat(inputs[i%len(inputs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// floatChunk builds a single-column float chunk with its positional map.
+func floatChunk(b *testing.B, rows int) (*chunk.TextChunk, *chunk.PositionalMap, *Parser) {
+	b.Helper()
+	var data []byte
+	for r := 0; r < rows; r++ {
+		data = strconv.AppendFloat(data, float64(r)+0.25, 'f', -1, 64)
+		data = append(data, '\n')
+	}
+	sch, err := schema.New(schema.Column{Name: "f0", Type: schema.Float64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := &chunk.TextChunk{Data: data, Lines: rows}
+	tk := &tok.Tokenizer{Delim: ',', MinFields: 1}
+	pm, err := tk.Tokenize(tc, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tc, pm, &Parser{Schema: sch}
+}
+
+// BenchmarkParseFloatColumn measures float-column conversion throughput;
+// allocs/op must stay O(1) (the output vector), never O(rows).
+func BenchmarkParseFloatColumn(b *testing.B) {
+	tc, pm, p := floatChunk(b, 4096)
+	b.SetBytes(int64(len(tc.Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Parse(tc, pm, []int{0}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,6 +18,7 @@ package parse
 import (
 	"fmt"
 	"strconv"
+	"unsafe"
 
 	"scanraw/internal/chunk"
 	"scanraw/internal/schema"
@@ -99,39 +100,65 @@ func (p *Parser) parseColumn(c *chunk.TextChunk, m *chunk.PositionalMap, col int
 		n = len(rows)
 	}
 	t := p.Schema.Column(col).Type
-	v := chunk.NewVector(t, n)
-	rowAt := func(i int) int {
-		if rows == nil {
-			return i
-		}
-		return rows[i]
-	}
+	// Column vectors come from the shared pool: storage released by the
+	// engine after evaluation cycles back into conversion. (The vectors
+	// produced here are installed into cacheable binary chunks and are
+	// never returned — the pool refills from the engine's releases.)
+	v := chunk.GetVector(t, n)
+	// The per-cell loops index the positional map directly — no per-cell
+	// closure call on the hottest path of the whole pipeline. rows != nil
+	// (push-down selection) pays one predictable branch per cell.
 	switch t {
 	case schema.Int64:
 		for i := 0; i < n; i++ {
-			s, e := m.Field(rowAt(i), col)
+			r := i
+			if rows != nil {
+				r = rows[i]
+			}
+			s, e := m.Field(r, col)
 			x, err := ParseInt(c.Data[s:e])
 			if err != nil {
-				return nil, fmt.Errorf("parse: chunk %d row %d col %d: %w", c.ID, rowAt(i), col, err)
+				return nil, fmt.Errorf("parse: chunk %d row %d col %d: %w", c.ID, r, col, err)
 			}
 			v.Ints[i] = x
 		}
 	case schema.Float64:
 		for i := 0; i < n; i++ {
-			s, e := m.Field(rowAt(i), col)
-			x, err := strconv.ParseFloat(string(c.Data[s:e]), 64)
+			r := i
+			if rows != nil {
+				r = rows[i]
+			}
+			s, e := m.Field(r, col)
+			x, err := ParseFloat(c.Data[s:e])
 			if err != nil {
-				return nil, fmt.Errorf("parse: chunk %d row %d col %d: %w", c.ID, rowAt(i), col, err)
+				return nil, fmt.Errorf("parse: chunk %d row %d col %d: %w", c.ID, r, col, err)
 			}
 			v.Floats[i] = x
 		}
 	case schema.Str:
 		for i := 0; i < n; i++ {
-			s, e := m.Field(rowAt(i), col)
+			r := i
+			if rows != nil {
+				r = rows[i]
+			}
+			s, e := m.Field(r, col)
 			v.Strs[i] = string(c.Data[s:e])
 		}
 	}
 	return v, nil
+}
+
+// ParseFloat converts ASCII bytes into a float64 without allocating on the
+// success path: strconv.ParseFloat wants a string, so the bytes are viewed
+// through a no-copy string header. The view must never escape — errors are
+// rewritten with a fresh copy of the bytes (strconv's *NumError would
+// otherwise retain the view past the chunk buffer's lifetime).
+func ParseFloat(b []byte) (float64, error) {
+	x, err := strconv.ParseFloat(unsafe.String(unsafe.SliceData(b), len(b)), 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid float %q", b)
+	}
+	return x, nil
 }
 
 // ParseInt converts decimal ASCII bytes (optional leading '-' or '+') into

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -205,5 +206,53 @@ func TestParseRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestParseFloat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"3.25", 3.25, true},
+		{"-12345.75", -12345.75, true},
+		{"1e9", 1e9, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"1.2.3", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseFloat([]byte(c.in))
+		if c.ok != (err == nil) {
+			t.Errorf("ParseFloat(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseFloat(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// The error message must not alias the input bytes (strconv's *NumError
+	// would): mutate the buffer after the call and check the message.
+	buf := []byte("bogus")
+	_, err := ParseFloat(buf)
+	copy(buf, "XXXXX")
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error retains a view of mutated input: %v", err)
+	}
+}
+
+// TestParseFloatZeroAlloc pins the acceptance criterion: the success path
+// of float conversion performs zero allocations per cell.
+func TestParseFloatZeroAlloc(t *testing.T) {
+	in := []byte("12345.6789")
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := ParseFloat(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ParseFloat allocates %v times per call, want 0", allocs)
 	}
 }

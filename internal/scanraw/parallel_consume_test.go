@@ -1,0 +1,101 @@
+package scanraw
+
+import (
+	"reflect"
+	"testing"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/engine"
+	"scanraw/internal/gen"
+	"scanraw/internal/vdisk"
+)
+
+// TestParallelConsumeMatchesSerial is the end-to-end differential test:
+// the same queries through a serial-consume operator and a
+// ConsumeWorkers=8 operator (each over its own freshly staged copy of the
+// same file) must return identical results.
+func TestParallelConsumeMatchesSerial(t *testing.T) {
+	queries := []string{
+		"SELECT SUM(c0+c1+c2+c3) FROM data",
+		"SELECT c0, SUM(c1), COUNT(*), MIN(c2), MAX(c3) FROM data WHERE c1 < 800 GROUP BY c0 ORDER BY c0",
+		"SELECT c0, c1 FROM data WHERE c2 >= 900",
+		"SELECT c1, c2 FROM data WHERE c0 = 7 ORDER BY c1 DESC, c2 LIMIT 25",
+		"SELECT c0, COUNT(*) AS n FROM data GROUP BY c0 HAVING n > 10 ORDER BY n DESC LIMIT 5",
+	}
+	run := func(consumeWorkers int) []*engine.Result {
+		env := newEnv(t, 4096, 4, nil)
+		op := New(env.store, env.table, Config{
+			Workers: 4, ChunkLines: 256, CacheChunks: 8,
+			Policy: Speculative, Safeguard: true, CollectStats: true,
+			ConsumeWorkers: consumeWorkers,
+		})
+		var out []*engine.Result
+		for _, sql := range queries {
+			q, err := engine.ParseSQL(sql, env.table.Schema())
+			if err != nil {
+				t.Fatalf("%s: %v", sql, err)
+			}
+			res, _, err := ExecuteQuery(op, q)
+			if err != nil {
+				t.Fatalf("%s: %v", sql, err)
+			}
+			out = append(out, res)
+		}
+		op.WaitIdle()
+		return out
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i, sql := range queries {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s:\nserial:   %+v\nparallel: %+v", sql, serial[i].Rows, parallel[i].Rows)
+		}
+	}
+}
+
+// benchConsumeOperator stages a file, builds an operator whose simulated
+// CPU makes consume the dominant stage, and warms the binary cache so the
+// steady-state iterations measure pure delivery + evaluation.
+func benchConsumeOperator(b *testing.B, consumeWorkers int) (*Operator, *engine.Query) {
+	b.Helper()
+	d := vdisk.Unlimited()
+	spec := gen.CSVSpec{Rows: 16384, Cols: 4, Seed: 7, MaxValue: 1000}
+	gen.Preload(d, "raw/bench.csv", spec)
+	store := dbstore.NewStore(d)
+	table, err := store.CreateTable("bench", spec.Schema(), "raw/bench.csv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	op := New(store, table, Config{
+		Workers: 8, ChunkLines: 1024, CacheChunks: 32,
+		Policy: ExternalTables, CPUSlowdown: 24,
+		ConsumeWorkers: consumeWorkers,
+	})
+	// High-selectivity aggregate: every row survives the predicate, so the
+	// consume stage processes the full file each run.
+	q, err := engine.ParseSQL("SELECT c0, SUM(c1), COUNT(*) FROM bench WHERE c2 >= 0 GROUP BY c0", table.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := ExecuteQuery(op, q); err != nil {
+		b.Fatal(err) // warm-up: converts and caches every chunk
+	}
+	return op, q
+}
+
+func runConsumeBench(b *testing.B, workers int) {
+	op, q := benchConsumeOperator(b, workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ExecuteQuery(op, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConsumeSerial and BenchmarkConsumeParallel8 measure end-to-end
+// query latency on a cache-warm operator whose simulated CPU (CPUSlowdown)
+// makes evaluation the bottleneck: the parallel delivery path must beat
+// serial by overlapping consume work across its workers.
+func BenchmarkConsumeSerial(b *testing.B)    { runConsumeBench(b, 1) }
+func BenchmarkConsumeParallel8(b *testing.B) { runConsumeBench(b, 8) }

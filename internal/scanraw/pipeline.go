@@ -28,6 +28,7 @@ type posItem struct {
 type run struct {
 	op  *Operator
 	req Request
+	del *deliverer // CONSUME stage: serial pass-through or fan-out
 
 	upTo int // attributes to tokenize: max required ordinal + 1
 
@@ -79,6 +80,11 @@ func (r *run) fail(err error) {
 	r.errOnce.Do(func() {
 		r.runErr = err
 		close(r.done)
+		// The consume stage latches the failure too, so fan-out workers
+		// stop evaluating chunks that can no longer contribute a result.
+		if r.del != nil {
+			r.del.setErr(err)
+		}
 		r.cacheMu.Lock()
 		r.cacheCond.Broadcast()
 		r.cacheMu.Unlock()
@@ -156,12 +162,18 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 	prof0 := o.prof.snapshot()
 	disk0 := o.disk.Stats()
 
+	// The consume stage (serial or fan-out, see deliverer) spans the whole
+	// run: cached delivery, the pipeline, and the sequential fallback all
+	// feed it, so consume parallelism applies to cache-warmed runs too.
+	del := o.newDeliverer(req.Deliver, o.consumeWorkersFor(req))
+
 	// Phase 1: deliver cached chunks first (§3.2.1 delivery order). The
 	// previous query's safeguard flush may still be writing — that is
 	// fine, cached delivery needs no disk.
 	delivered := make(map[int]bool)
 	for _, id := range o.cache.IDs() {
 		if err := ctx.Err(); err != nil {
+			_ = del.close()
 			st.Duration = time.Since(start)
 			return st, err
 		}
@@ -176,7 +188,9 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 				continue
 			}
 		}
-		if err := req.Deliver(bc); err != nil {
+		del.deliver(bc, nil)
+		if err := del.failedErr(); err != nil {
+			_ = del.close()
 			return st, err
 		}
 		delivered[id] = true
@@ -190,9 +204,14 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 	var err error
 	var r *run
 	if workers == 0 {
-		r, err = o.runSequential(ctx, req, delivered)
+		r, err = o.runSequential(ctx, req, del, delivered)
 	} else {
-		r, err = o.runParallel(ctx, req, delivered, workers)
+		r, err = o.runParallel(ctx, req, del, delivered, workers)
+	}
+	// All deliver calls have returned: drain the consume workers and
+	// surface any consume error that had not reached the run yet.
+	if cerr := del.close(); err == nil {
+		err = cerr
 	}
 	if r != nil {
 		st.DeliveredDB = int(r.deliveredDB.Load())
@@ -267,10 +286,11 @@ func (o *Operator) takeFlushErr() error {
 
 // runParallel executes the super-scalar pipeline with the given worker
 // pool size.
-func (o *Operator) runParallel(ctx context.Context, req Request, delivered map[int]bool, workers int) (*run, error) {
+func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer, delivered map[int]bool, workers int) (*run, error) {
 	r := &run{
 		op:           o,
 		req:          req,
+		del:          del,
 		upTo:         req.Columns[len(req.Columns)-1] + 1,
 		done:         make(chan struct{}),
 		freeText:     make(chan struct{}, o.cfg.TextBufferChunks),
@@ -340,23 +360,26 @@ func (o *Operator) runParallel(ctx context.Context, req Request, delivered map[i
 		close(r.deliverCh)
 	}()
 
-	// Delivery loop (the execution engine's feed) runs on this goroutine.
-	var deliverErr error
+	// Delivery loop (the execution engine's feed) runs on this goroutine:
+	// it hands each chunk to the consume stage, whose after-hook releases
+	// the chunk's pin and binary-buffer budget only once evaluation is
+	// done — in fan-out mode that keeps at most ParallelConsume chunks in
+	// flight past the buffer budget.
 	for bc := range r.deliverCh {
-		if deliverErr == nil && !r.failed() {
-			deliverErr = req.Deliver(bc)
-			if deliverErr != nil {
-				r.fail(deliverErr)
+		bc := bc
+		r.del.deliver(bc, func() {
+			if err := o.cache.Unpin(bc.ID); err != nil {
+				r.fail(err)
 			}
-		}
-		if err := o.cache.Unpin(bc.ID); err != nil {
+			r.freeBin <- struct{}{} // undelivered-chunk budget freed
+			r.cacheMu.Lock()
+			r.cacheCond.Broadcast()
+			r.cacheMu.Unlock()
+			r.poke()
+		})
+		if err := r.del.failedErr(); err != nil {
 			r.fail(err)
 		}
-		r.freeBin <- struct{}{} // undelivered-chunk budget freed
-		r.cacheMu.Lock()
-		r.cacheCond.Broadcast()
-		r.cacheMu.Unlock()
-		r.poke()
 	}
 
 	// Teardown.
@@ -580,6 +603,7 @@ func (r *run) parseTask(item posItem, slot *workerSlot) {
 		r.freeBin <- struct{}{}
 		return
 	}
+	o.releaseMap(item.tc.ID, item.pm)
 	o.prof.parseChunks.Add(1)
 	if o.cfg.CollectStats {
 		if err := r.recordStats(bc); err != nil {

@@ -103,6 +103,25 @@ func (r *Registry) Len() int {
 	return len(r.ops)
 }
 
+// queryConsumer is the engine surface the operator drives: the serial
+// engine.Executor and the fan-out engine.ParallelExecutor both satisfy it.
+type queryConsumer interface {
+	ConsumeContext(ctx context.Context, bc *BinaryChunk) error
+	Result() (*engine.Result, error)
+}
+
+// newConsumer builds the executor matching the operator's consume
+// parallelism and returns it with the effective worker count.
+func newConsumer(op *Operator, q *engine.Query, sch *schema.Schema) (queryConsumer, int, error) {
+	n := op.Config().ConsumeWorkers
+	if n > 1 {
+		ex, err := engine.NewParallelExecutor(q, sch, n)
+		return ex, n, err
+	}
+	ex, err := engine.NewExecutor(q, sch)
+	return ex, 1, err
+}
+
 // ExecuteQuery runs a bound query through the operator and returns its
 // result set: the operator feeds binary chunks to an engine executor
 // (selective conversion of exactly the query's required columns), applying
@@ -113,9 +132,10 @@ func ExecuteQuery(op *Operator, q *engine.Query) (*engine.Result, RunStats, erro
 
 // ExecuteQueryContext is ExecuteQuery with cancellation: a cancelled
 // context stops the scan at the next chunk boundary and is returned as the
-// error.
+// error. With ConsumeWorkers > 1 in the operator's configuration the query
+// evaluates on an engine.ParallelExecutor fed by that many consume workers.
 func ExecuteQueryContext(ctx context.Context, op *Operator, q *engine.Query) (*engine.Result, RunStats, error) {
-	ex, err := engine.NewExecutor(q, op.Table().Schema())
+	ex, n, err := newConsumer(op, q, op.Table().Schema())
 	if err != nil {
 		return nil, RunStats{}, err
 	}
@@ -126,9 +146,10 @@ func ExecuteQueryContext(ctx context.Context, op *Operator, q *engine.Query) (*e
 		cols = []int{0}
 	}
 	req := Request{
-		Columns: cols,
-		Deliver: func(bc *BinaryChunk) error { return ex.ConsumeContext(ctx, bc) },
-		Skip:    SkipFromPredicate(q.Where),
+		Columns:         cols,
+		Deliver:         func(bc *BinaryChunk) error { return ex.ConsumeContext(ctx, bc) },
+		Skip:            SkipFromPredicate(q.Where),
+		ParallelConsume: n,
 	}
 	st, err := op.RunContext(ctx, req)
 	if err != nil {

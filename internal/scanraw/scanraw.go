@@ -138,8 +138,8 @@ type Config struct {
 	// PositionalMapCacheChunks bounds the positional-map cache.
 	// Default 64.
 	PositionalMapCacheChunks int
-	// CPUSlowdown simulates slower cores: every TOKENIZE/PARSE task
-	// occupies its worker for CPUSlowdown times its measured duration
+	// CPUSlowdown simulates slower cores: every TOKENIZE/PARSE/CONSUME
+	// task occupies its worker for CPUSlowdown times its measured duration
 	// (the real conversion plus a sleep for the remainder). Values <= 1
 	// disable it. This is how experiments observe worker-count scaling on
 	// hosts with fewer cores than the paper's 16: sleeps overlap across
@@ -147,6 +147,12 @@ type Config struct {
 	// behaves as if each worker had its own (slow) core, in the same
 	// model-time units the simulated disk uses.
 	CPUSlowdown int
+	// ConsumeWorkers is the default consume parallelism for requests that
+	// leave ParallelConsume unset: the number of goroutines delivered
+	// chunks fan out to. The default (0, treated as 1) keeps the classic
+	// serial delivery contract; values > 1 require Deliver callbacks that
+	// tolerate concurrent calls (engine.ParallelExecutor does).
+	ConsumeWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -206,11 +212,14 @@ func (s StageProfile) PerChunk() time.Duration {
 }
 
 // Profile holds per-stage accumulators (the paper's Fig. 5 measurement).
+// Consume is the engine-side evaluation time of delivered chunks — the
+// stage the parallel delivery mode spreads across workers.
 type Profile struct {
 	Read     StageProfile
 	Tokenize StageProfile
 	Parse    StageProfile
 	Write    StageProfile
+	Consume  StageProfile
 }
 
 // Sub returns p - o, for per-run deltas.
@@ -220,12 +229,13 @@ func (p Profile) Sub(o Profile) Profile {
 		Tokenize: StageProfile{p.Tokenize.Time - o.Tokenize.Time, p.Tokenize.Chunks - o.Tokenize.Chunks},
 		Parse:    StageProfile{p.Parse.Time - o.Parse.Time, p.Parse.Chunks - o.Parse.Chunks},
 		Write:    StageProfile{p.Write.Time - o.Write.Time, p.Write.Chunks - o.Write.Chunks},
+		Consume:  StageProfile{p.Consume.Time - o.Consume.Time, p.Consume.Chunks - o.Consume.Chunks},
 	}
 }
 
 type profCounters struct {
-	readNs, tokNs, parseNs, writeNs             atomic.Int64
-	readChunks, tokChunks, parseChunks, writeCh atomic.Int64
+	readNs, tokNs, parseNs, writeNs, consumeNs                 atomic.Int64
+	readChunks, tokChunks, parseChunks, writeCh, consumeChunks atomic.Int64
 }
 
 func (pc *profCounters) snapshot() Profile {
@@ -234,6 +244,7 @@ func (pc *profCounters) snapshot() Profile {
 		Tokenize: StageProfile{time.Duration(pc.tokNs.Load()), pc.tokChunks.Load()},
 		Parse:    StageProfile{time.Duration(pc.parseNs.Load()), pc.parseChunks.Load()},
 		Write:    StageProfile{time.Duration(pc.writeNs.Load()), pc.writeCh.Load()},
+		Consume:  StageProfile{time.Duration(pc.consumeNs.Load()), pc.consumeChunks.Load()},
 	}
 }
 
@@ -379,6 +390,21 @@ func (o *Operator) storeMap(id int, pm *chunk.PositionalMap) {
 	}
 }
 
+// releaseMap recycles a positional map once PARSE is done with it — unless
+// the map is the instance retained by the positional-map cache, whose
+// offsets later queries will read.
+func (o *Operator) releaseMap(id int, pm *chunk.PositionalMap) {
+	if o.pmCache != nil {
+		o.pmMu.Lock()
+		retained := o.pmCache[id] == pm
+		o.pmMu.Unlock()
+		if retained {
+			return
+		}
+	}
+	chunk.PutPositionalMap(pm)
+}
+
 // tokenizeChunk runs TOKENIZE for one chunk on the given worker slot,
 // consulting the positional-map cache when enabled. A complete cached map
 // skips the scan entirely; a partial one is extended from its last
@@ -438,13 +464,19 @@ type Request struct {
 	// Columns lists the schema ordinals the query needs (selective
 	// tokenizing/parsing). Must be non-empty and sorted ascending.
 	Columns []int
-	// Deliver receives every chunk exactly once. It is called from a
-	// single goroutine.
+	// Deliver receives every chunk exactly once. With an effective
+	// consume parallelism of 1 (see ParallelConsume) it is called from a
+	// single goroutine; with parallelism N > 1 it may be called from up
+	// to N goroutines concurrently and must be safe for that.
 	Deliver func(bc *BinaryChunk) error
 	// Skip, when non-nil, is consulted for chunks with known metadata;
 	// returning true skips the chunk entirely (min/max chunk elimination,
 	// §3.3). Skipped chunks are not delivered.
 	Skip func(meta *dbstore.ChunkMeta) bool
+	// ParallelConsume is the number of consume workers delivered chunks
+	// fan out to. 0 falls back to Config.ConsumeWorkers; values <= 1
+	// select the classic serial delivery path.
+	ParallelConsume int
 }
 
 // BinaryChunk is re-exported so operator users do not need to import the

@@ -13,10 +13,11 @@ import (
 // overlap is possible. It still honours the write policy; under
 // Speculative the write of the oldest unloaded chunk happens after each
 // conversion, when the disk would otherwise idle until the next read.
-func (o *Operator) runSequential(ctx context.Context, req Request, delivered map[int]bool) (*run, error) {
+func (o *Operator) runSequential(ctx context.Context, req Request, del *deliverer, delivered map[int]bool) (*run, error) {
 	r := &run{
 		op:      o,
 		req:     req,
+		del:     del,
 		upTo:    req.Columns[len(req.Columns)-1] + 1,
 		done:    make(chan struct{}),
 		seqSlot: &workerSlot{},
@@ -52,7 +53,8 @@ func (o *Operator) runSequential(ctx context.Context, req Request, delivered map
 					return r, err
 				}
 				o.cache.Put(bc, true)
-				if err := req.Deliver(bc); err != nil {
+				r.del.deliver(bc, nil)
+				if err := r.del.failedErr(); err != nil {
 					return r, err
 				}
 				r.deliveredDB.Add(1)
@@ -106,6 +108,7 @@ func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
 	if err != nil {
 		return err
 	}
+	o.releaseMap(tc.ID, pm)
 	o.prof.parseChunks.Add(1)
 	if o.cfg.CollectStats {
 		if err := r.recordStats(bc); err != nil {
@@ -133,7 +136,8 @@ func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
 			return err
 		}
 	}
-	if err := r.req.Deliver(bc); err != nil {
+	r.del.deliver(bc, nil)
+	if err := r.del.failedErr(); err != nil {
 		return err
 	}
 	r.deliveredRaw.Add(1)

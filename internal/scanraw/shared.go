@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"scanraw/internal/dbstore"
 	"scanraw/internal/engine"
@@ -38,10 +40,26 @@ func (o *Operator) RunSharedContext(ctx context.Context, reqs []Request) (RunSta
 		}
 	}
 	union := unionColumns(reqs)
-	per := make([]SharedStats, len(reqs))
+
+	// The shared scan consumes with the widest parallelism any member
+	// asked for; members that kept the serial contract (effective
+	// parallelism 1) are serialized behind a per-request mutex so their
+	// Deliver still never sees concurrent calls. Per-request counters are
+	// atomics because the combined Deliver itself may run on several
+	// consume workers at once.
+	parallel := 1
+	for _, req := range reqs {
+		if n := o.consumeWorkersFor(req); n > parallel {
+			parallel = n
+		}
+	}
+	delivered := make([]atomic.Int64, len(reqs))
+	skipped := make([]atomic.Int64, len(reqs))
+	serialMu := make([]sync.Mutex, len(reqs))
 
 	combined := Request{
-		Columns: union,
+		Columns:         union,
+		ParallelConsume: parallel,
 		// A chunk is skipped at the scan level only when every request
 		// would skip it; requests without a filter always need the chunk.
 		Skip: func(meta *dbstore.ChunkMeta) bool {
@@ -56,18 +74,33 @@ func (o *Operator) RunSharedContext(ctx context.Context, reqs []Request) (RunSta
 			meta, haveMeta := o.table.Chunk(bc.ID)
 			for i := range reqs {
 				if reqs[i].Skip != nil && haveMeta && reqs[i].Skip(meta) {
-					per[i].SkippedChunks++
+					skipped[i].Add(1)
 					continue
 				}
-				if err := reqs[i].Deliver(bc); err != nil {
+				var err error
+				if o.consumeWorkersFor(reqs[i]) > 1 {
+					err = reqs[i].Deliver(bc)
+				} else {
+					serialMu[i].Lock()
+					err = reqs[i].Deliver(bc)
+					serialMu[i].Unlock()
+				}
+				if err != nil {
 					return fmt.Errorf("request %d: %w", i, err)
 				}
-				per[i].DeliveredChunks++
+				delivered[i].Add(1)
 			}
 			return nil
 		},
 	}
 	st, err := o.RunContext(ctx, combined)
+	per := make([]SharedStats, len(reqs))
+	for i := range per {
+		per[i] = SharedStats{
+			DeliveredChunks: int(delivered[i].Load()),
+			SkippedChunks:   int(skipped[i].Load()),
+		}
+	}
 	return st, per, err
 }
 
@@ -99,24 +132,27 @@ func ExecuteQueries(op *Operator, qs []*engine.Query) ([]*engine.Result, RunStat
 	return ExecuteQueriesContext(context.Background(), op, qs)
 }
 
-// ExecuteQueriesContext is ExecuteQueries with cancellation.
+// ExecuteQueriesContext is ExecuteQueries with cancellation. When the
+// operator is configured with ConsumeWorkers > 1, each query evaluates on
+// an engine.ParallelExecutor and the shared scan's delivery fans out.
 func ExecuteQueriesContext(ctx context.Context, op *Operator, qs []*engine.Query) ([]*engine.Result, RunStats, error) {
 	if len(qs) == 0 {
 		return nil, RunStats{}, fmt.Errorf("scanraw: no queries")
 	}
 	sch := op.Table().Schema()
-	executors := make([]*engine.Executor, len(qs))
+	executors := make([]queryConsumer, len(qs))
 	reqs := make([]Request, len(qs))
 	for i, q := range qs {
-		ex, err := engine.NewExecutor(q, sch)
+		ex, n, err := newConsumer(op, q, sch)
 		if err != nil {
 			return nil, RunStats{}, fmt.Errorf("query %d: %w", i, err)
 		}
 		executors[i] = ex
 		reqs[i] = Request{
-			Columns: q.RequiredColumns(),
-			Deliver: func(bc *BinaryChunk) error { return ex.ConsumeContext(ctx, bc) },
-			Skip:    SkipFromPredicate(q.Where),
+			Columns:         q.RequiredColumns(),
+			Deliver:         func(bc *BinaryChunk) error { return ex.ConsumeContext(ctx, bc) },
+			Skip:            SkipFromPredicate(q.Where),
+			ParallelConsume: n,
 		}
 	}
 	st, _, err := op.RunSharedContext(ctx, reqs)

@@ -6,24 +6,58 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scanraw/internal/dbstore"
 	"scanraw/internal/engine"
 	"scanraw/internal/scanraw"
 )
+
+// executor is the engine surface a pending query consumes chunks with:
+// the serial engine.Executor, the fan-out engine.ParallelExecutor, or the
+// server's streaming NDJSON consumer.
+type executor interface {
+	Consume(bc *scanraw.BinaryChunk) error
+	Result() (*engine.Result, error)
+}
 
 // pending is one admitted query waiting to be served by a shared scan.
 type pending struct {
 	ctx    context.Context
 	q      *engine.Query
-	ex     *engine.Executor
+	ex     executor
 	result chan pendingResult // buffered(1): the batch never blocks on it
 
+	// consumeWorkers is the consume parallelism this query asked the scan
+	// for (1 = classic serial delivery).
+	consumeWorkers int
+	// stream, when non-nil, consumes rows incrementally; the scan's skip
+	// decisions feed its reorder frontier.
+	stream *ndjsonStreamer
+
 	// cancelled flips once the query's context dies mid-scan; the delivery
-	// loop stops feeding its executor from then on.
+	// path stops feeding its executor from then on.
 	cancelled atomic.Bool
 	// consumeErr records this query's own execution error without failing
-	// the batch for everyone else. Written and read on the scan's single
-	// delivery goroutine, then read after the scan returns.
+	// the batch for everyone else. With parallel consume the delivery path
+	// runs on several goroutines, so the error latches behind a mutex.
+	errMu      sync.Mutex
 	consumeErr error
+}
+
+func (p *pending) setConsumeErr(err error) {
+	if err == nil {
+		return
+	}
+	p.errMu.Lock()
+	if p.consumeErr == nil {
+		p.consumeErr = err
+	}
+	p.errMu.Unlock()
+}
+
+func (p *pending) consumeError() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.consumeErr
 }
 
 // pendingResult is what the batch deposits for each member query.
@@ -119,20 +153,36 @@ func (b *batcher) execute(batch []*pending) {
 			// row scanned; converting the first column is the cheapest way.
 			cols = []int{0}
 		}
+		skip := scanraw.SkipFromPredicate(p.q.Where)
+		if p.stream != nil {
+			// Streaming members watch their skip decisions so the reorder
+			// frontier can advance past eliminated chunks.
+			orig := skip
+			skip = func(meta *dbstore.ChunkMeta) bool {
+				if orig != nil && orig(meta) {
+					p.stream.markSkipped(meta.ID)
+					return true
+				}
+				return false
+			}
+		}
 		reqs[i] = scanraw.Request{
-			Columns: cols,
-			Skip:    scanraw.SkipFromPredicate(p.q.Where),
+			Columns:         cols,
+			Skip:            skip,
+			ParallelConsume: p.consumeWorkers,
 			// Deliver feeds this member's executor but never fails the
 			// whole batch: a dead member is skipped, a member whose own
-			// evaluation errors keeps the error for itself.
+			// evaluation errors keeps the error for itself. With parallel
+			// consume this closure runs on several goroutines at once (the
+			// executor behind it is concurrency-safe then).
 			Deliver: func(bc *scanraw.BinaryChunk) error {
-				if p.consumeErr != nil || p.cancelled.Load() {
+				if p.consumeError() != nil || p.cancelled.Load() {
 					return nil
 				}
 				if err := p.ctx.Err(); err != nil {
 					return nil
 				}
-				p.consumeErr = p.ex.Consume(bc)
+				p.setConsumeErr(p.ex.Consume(bc))
 				return nil
 			},
 		}
@@ -149,8 +199,8 @@ func (b *batcher) execute(batch []*pending) {
 		switch {
 		case p.ctx.Err() != nil:
 			pr.err = p.ctx.Err()
-		case p.consumeErr != nil:
-			pr.err = p.consumeErr
+		case p.consumeError() != nil:
+			pr.err = p.consumeError()
 		case err != nil:
 			pr.err = err
 		default:

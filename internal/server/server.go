@@ -261,7 +261,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ex, err := engine.NewExecutor(q, entry.table.Schema())
+	// Executor selection. The operator's ConsumeWorkers setting decides the
+	// consume parallelism; streamable queries (non-aggregate, no ORDER BY)
+	// asked for as NDJSON get the incremental streamer, everything else
+	// materializes through the serial or parallel engine executor.
+	workers := entry.cfg.ConsumeWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	wantStream := r.URL.Query().Get("stream") == "ndjson"
+	var (
+		ex       executor
+		streamer *ndjsonStreamer
+	)
+	switch {
+	case wantStream && !q.IsAggregate() && len(q.OrderBy) == 0:
+		streamer, err = newNDJSONStreamer(q, entry.table.Schema(), workers)
+		ex = streamer
+	case workers > 1:
+		ex, err = engine.NewParallelExecutor(q, entry.table.Schema(), workers)
+	default:
+		ex, err = engine.NewExecutor(q, entry.table.Schema())
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -293,7 +314,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	p := &pending{ctx: ctx, q: q, ex: ex, result: make(chan pendingResult, 1)}
+	if streamer != nil {
+		// The columns header (and the 200) must go out before the scan can
+		// start pushing rows. From here on errors are in-band NDJSON lines.
+		streamer.start(w)
+	}
+	p := &pending{ctx: ctx, q: q, ex: ex, stream: streamer, consumeWorkers: workers, result: make(chan pendingResult, 1)}
 	s.batcherFor(entry).submit(p)
 
 	var pr pendingResult
@@ -302,15 +328,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case <-ctx.Done():
 		// The batch will still deposit a result (the channel is buffered),
 		// but the client is gone or out of time — report and bail.
-		s.finishCancelled(w, ctx.Err())
+		s.accountCancelled(ctx.Err())
+		if streamer != nil {
+			streamer.fail(fmt.Errorf("query cancelled: %v", ctx.Err()))
+			return
+		}
+		s.writeCancelled(w, ctx.Err())
 		return
 	}
 	if pr.err != nil {
 		if errors.Is(pr.err, ctx.Err()) && ctx.Err() != nil {
-			s.finishCancelled(w, ctx.Err())
+			s.accountCancelled(ctx.Err())
+			if streamer != nil {
+				streamer.fail(fmt.Errorf("query cancelled: %v", ctx.Err()))
+				return
+			}
+			s.writeCancelled(w, ctx.Err())
 			return
 		}
 		s.met.failed.Add(1)
+		if streamer != nil {
+			streamer.fail(pr.err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", pr.err)
 		return
 	}
@@ -326,7 +366,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ChunksLoaded:    pr.scan.WrittenDuringRun,
 		Policy:          entry.cfg.Policy.String(),
 	}
-	if r.URL.Query().Get("stream") == "ndjson" {
+	if streamer != nil {
+		// Rows already streamed chunk-by-chunk; close with the stats trailer.
+		streamer.finishOK(st)
+		return
+	}
+	if wantStream {
+		// Aggregate / ORDER BY results cannot stream incrementally (they
+		// only exist after the merge); stream the materialized rows.
 		s.writeNDJSON(w, pr.res, st)
 		return
 	}
@@ -337,15 +384,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, queryResponse{Columns: pr.res.Cols, Rows: rows, Stats: st})
 }
 
-// finishCancelled accounts and reports a query cut short by its context.
-func (s *Server) finishCancelled(w http.ResponseWriter, err error) {
+// accountCancelled records a query cut short by its context in the
+// serving counters.
+func (s *Server) accountCancelled(err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
 		s.met.timedOut.Add(1)
+		return
+	}
+	s.met.cancelled.Add(1)
+}
+
+// writeCancelled reports a cancelled query to a client whose response has
+// not started yet.
+func (s *Server) writeCancelled(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
 		writeError(w, http.StatusGatewayTimeout, "query timed out")
 		return
 	}
 	// Client disconnect: the response writer is dead; account it only.
-	s.met.cancelled.Add(1)
 	writeError(w, statusClientClosedRequest, "query cancelled")
 }
 

@@ -369,6 +369,105 @@ func TestNDJSONStreaming(t *testing.T) {
 	}
 }
 
+// readNDJSON splits a streaming response into its row lines (JSON arrays)
+// and object lines (header, trailer, in-band errors).
+func readNDJSON(t *testing.T, body io.Reader) (rows [][]any, objs []map[string]any) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if bytes.HasPrefix(line, []byte("[")) {
+			var row []any
+			if err := json.Unmarshal(line, &row); err != nil {
+				t.Fatalf("row line %s: %v", line, err)
+			}
+			rows = append(rows, row)
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			t.Fatalf("line %s: %v", line, err)
+		}
+		objs = append(objs, obj)
+	}
+	return rows, objs
+}
+
+// TestParallelConsumeServing drives the server with ConsumeWorkers > 1:
+// aggregate results must be bit-identical to the serial configuration, and
+// streamed non-aggregate rows must come back in canonical (chunk, row)
+// order despite the concurrent delivery underneath.
+func TestParallelConsumeServing(t *testing.T) {
+	serial := newServerEnv(t, 2048, nil, Config{}, scanraw.Config{Workers: 2, CacheChunks: 8})
+	par := newServerEnv(t, 2048, nil, Config{},
+		scanraw.Config{Workers: 2, CacheChunks: 8, ConsumeWorkers: 4})
+
+	queries := []string{
+		sumSQL,
+		"SELECT c0, SUM(c1), COUNT(*) FROM data WHERE c2 < 700 GROUP BY c0 ORDER BY c0 LIMIT 20",
+		"SELECT c0, c1 FROM data WHERE c3 >= 900",
+	}
+	for _, sql := range queries {
+		body := fmt.Sprintf(`{"sql": %q}`, sql)
+		st1, out1 := postQuery(t, serial, body)
+		st2, out2 := postQuery(t, par, body)
+		if st1 != http.StatusOK || st2 != http.StatusOK {
+			t.Fatalf("%s: status serial=%d parallel=%d", sql, st1, st2)
+		}
+		r1, _ := json.Marshal(out1["rows"])
+		r2, _ := json.Marshal(out2["rows"])
+		if !bytes.Equal(r1, r2) {
+			t.Errorf("%s: parallel rows differ from serial\nserial:   %s\nparallel: %s", sql, r1, r2)
+		}
+	}
+
+	// Stream the non-aggregate query from the parallel server: the rows
+	// must match the materialized result in the same order.
+	sql := "SELECT c0, c1 FROM data WHERE c3 >= 900"
+	_, out := postQuery(t, par, fmt.Sprintf(`{"sql": %q}`, sql))
+	want, _ := json.Marshal(out["rows"])
+	resp, err := http.Post(par.ts.URL+"/query?stream=ndjson", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"sql": %q}`, sql)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rows, objs := readNDJSON(t, resp.Body)
+	if len(objs) != 2 {
+		t.Fatalf("want header + trailer, got %d objects: %v", len(objs), objs)
+	}
+	if _, ok := objs[len(objs)-1]["stats"]; !ok {
+		t.Errorf("stream did not end with a stats trailer: %v", objs[len(objs)-1])
+	}
+	got, _ := json.Marshal(rows)
+	if !bytes.Equal(got, want) {
+		t.Errorf("streamed rows differ from materialized result\nstreamed:     %.200s\nmaterialized: %.200s", got, want)
+	}
+	if len(rows) == 0 {
+		t.Fatal("streamed no rows; predicate expected matches")
+	}
+}
+
+// TestStreamingLimit checks that a streamed LIMIT stops at the limit.
+func TestStreamingLimit(t *testing.T) {
+	env := newServerEnv(t, 1024, nil, Config{},
+		scanraw.Config{Workers: 2, ConsumeWorkers: 4})
+	resp, err := http.Post(env.ts.URL+"/query?stream=ndjson", "application/json",
+		strings.NewReader(`{"sql": "SELECT c0 FROM data LIMIT 7"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rows, _ := readNDJSON(t, resp.Body)
+	if len(rows) != 7 {
+		t.Errorf("streamed %d rows, want 7", len(rows))
+	}
+}
+
 func TestTablesEndpoint(t *testing.T) {
 	env := newServerEnv(t, 256, nil, Config{},
 		scanraw.Config{Workers: 2, Policy: scanraw.FullLoad, Safeguard: true})

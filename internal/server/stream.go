@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"scanraw/internal/engine"
+	"scanraw/internal/scanraw"
+	"scanraw/internal/schema"
+)
+
+// ndjsonStreamer consumes chunks for a non-aggregate, ORDER-BY-free query
+// and writes qualifying rows to the client as they are produced, instead of
+// materializing the result. Because chunks arrive in whatever order the
+// scan (and, with parallel consume, the fan-out workers) produces them, a
+// reorder buffer holds finished chunks until the frontier — the next chunk
+// ID to emit — catches up, so the emitted row order is always ascending
+// (chunk ID, row ordinal): identical to the materialized path's canonical
+// order no matter how delivery was parallelized.
+//
+// Chunks the scan skips (statistics-based elimination) never arrive, so
+// skip decisions are fed in via markSkipped to advance the frontier past
+// them.
+type ndjsonStreamer struct {
+	q    *engine.Query
+	pool chan *engine.Partial // per-worker evaluation scratch (ChunkRows)
+
+	mu      sync.Mutex
+	enc     *json.Encoder
+	flusher http.Flusher
+	next    int // frontier: lowest chunk ID not yet emitted
+	ready   map[int][][]engine.Value
+	skipped map[int]bool
+	emitted int
+	closed  bool
+}
+
+// newNDJSONStreamer validates the query (it must be streamable: no
+// aggregation, no ORDER BY) and builds a streamer with one evaluation
+// partial per consume worker.
+func newNDJSONStreamer(q *engine.Query, sch *schema.Schema, workers int) (*ndjsonStreamer, error) {
+	if q.IsAggregate() || len(q.OrderBy) > 0 {
+		return nil, fmt.Errorf("server: query is not streamable")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	st := &ndjsonStreamer{
+		q:       q,
+		pool:    make(chan *engine.Partial, workers),
+		ready:   make(map[int][][]engine.Value),
+		skipped: make(map[int]bool),
+	}
+	for i := 0; i < workers; i++ {
+		p, err := engine.NewPartial(q, sch)
+		if err != nil {
+			return nil, err
+		}
+		st.pool <- p
+	}
+	return st, nil
+}
+
+// start binds the response writer and emits the columns header. Must be
+// called before the scan is submitted.
+func (st *ndjsonStreamer) start(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	st.enc = json.NewEncoder(w)
+	st.flusher, _ = w.(http.Flusher)
+	_ = st.enc.Encode(map[string]any{"columns": st.columns()})
+}
+
+func (st *ndjsonStreamer) columns() []string {
+	cols := make([]string, len(st.q.Items))
+	for i, it := range st.q.Items {
+		cols[i] = it.Name()
+	}
+	return cols
+}
+
+// Consume implements the executor surface the coalescer drives. Safe for
+// concurrent calls (parallel consume): evaluation runs on a pooled partial
+// outside the lock; buffering and emission serialize on it.
+func (st *ndjsonStreamer) Consume(bc *scanraw.BinaryChunk) error {
+	p := <-st.pool
+	rows, err := p.ChunkRows(bc)
+	st.pool <- p
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.ready[bc.ID] = rows
+	st.drainLocked()
+	return nil
+}
+
+// markSkipped records a chunk the scan eliminated so the frontier can pass
+// it. Idempotent — the shared-scan path consults Skip more than once per
+// chunk.
+func (st *ndjsonStreamer) markSkipped(id int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.skipped[id] {
+		return
+	}
+	st.skipped[id] = true
+	st.drainLocked()
+}
+
+// drainLocked advances the frontier, emitting every buffered chunk that
+// became contiguous.
+func (st *ndjsonStreamer) drainLocked() {
+	for {
+		if st.skipped[st.next] {
+			delete(st.skipped, st.next)
+			st.next++
+			continue
+		}
+		rows, ok := st.ready[st.next]
+		if !ok {
+			return
+		}
+		delete(st.ready, st.next)
+		st.emitLocked(rows)
+		st.next++
+	}
+}
+
+func (st *ndjsonStreamer) emitLocked(rows [][]engine.Value) {
+	if st.closed || st.enc == nil {
+		return
+	}
+	for _, row := range rows {
+		if st.q.Limit > 0 && st.emitted >= st.q.Limit {
+			return
+		}
+		_ = st.enc.Encode(jsonRow(row))
+		st.emitted++
+		// Flush periodically so large results stream instead of buffering.
+		if st.flusher != nil && st.emitted%1024 == 0 {
+			st.flusher.Flush()
+		}
+	}
+}
+
+// Result completes the executor surface: rows already went to the client,
+// so only the column header remains. Out-of-order leftovers (possible only
+// when a member was cancelled mid-scan) are flushed in ID order first.
+func (st *ndjsonStreamer) Result() (*engine.Result, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := make([]int, 0, len(st.ready))
+	for id := range st.ready {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st.emitLocked(st.ready[id])
+		delete(st.ready, id)
+	}
+	return &engine.Result{Cols: st.columns()}, nil
+}
+
+// finishOK writes the stats trailer.
+func (st *ndjsonStreamer) finishOK(stats queryStats) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.closed = true
+	if st.enc != nil {
+		_ = st.enc.Encode(map[string]any{"stats": stats})
+	}
+}
+
+// fail terminates the stream with an error line. The HTTP status is long
+// gone — in-band errors are the streaming contract.
+func (st *ndjsonStreamer) fail(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.closed = true
+	if st.enc != nil {
+		_ = st.enc.Encode(map[string]any{"error": err.Error()})
+	}
+}

@@ -35,6 +35,7 @@ func BenchmarkTokenizeSelective4of64(b *testing.B) {
 	tc := benchData(b, 64)
 	tk := &Tokenizer{Delim: ',', MinFields: 64}
 	b.SetBytes(int64(len(tc.Data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tk.Tokenize(tc, 4); err != nil {
@@ -53,6 +54,7 @@ func BenchmarkExtend4to64(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(tc.Data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := &chunk.PositionalMap{

@@ -52,13 +52,9 @@ func (t *Tokenizer) Tokenize(c *chunk.TextChunk, upTo int) (*chunk.PositionalMap
 		return nil, fmt.Errorf("tok: upTo %d outside [1,%d]", upTo, t.MinFields)
 	}
 	rows := c.Lines
-	m := &chunk.PositionalMap{
-		NumRows: rows,
-		NumCols: upTo,
-		Starts:  make([]int32, 0, rows*upTo),
-		Ends:    make([]int32, 0, rows*upTo),
-		LineEnd: make([]int32, 0, rows),
-	}
+	m := chunk.GetPositionalMap(rows, upTo)
+	m.NumRows = rows
+	m.NumCols = upTo
 	data := c.Data
 	pos := 0
 	for r := 0; r < rows; r++ {

@@ -96,6 +96,10 @@ type Options struct {
 	// across queries based on observed utilization (grow when conversion
 	// is the bottleneck, shrink when the disk is).
 	AdaptiveWorkers bool
+	// ConsumeWorkers sets how many goroutines evaluate delivered chunks
+	// per query (parallel delivery). The default (0) keeps the classic
+	// serial consume path.
+	ConsumeWorkers int
 }
 
 // Result is a materialized query result.
@@ -226,6 +230,7 @@ func (db *DB) operatorConfig(table string) intscan.Config {
 		Delim:           delim,
 		CollectStats:    !db.opts.NoStats,
 		AdaptiveWorkers: db.opts.AdaptiveWorkers,
+		ConsumeWorkers:  db.opts.ConsumeWorkers,
 	}
 }
 

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Runs the benchmark suite over the hot packages and records the results as
+# JSON in BENCH_pr2.json: one object per benchmark with ns/op plus the
+# derived serial-vs-parallel consume speedup.
+set -e
+GO=${GO:-go}
+OUT=BENCH_pr2.json
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+$GO test -run xxx -bench . -benchmem -benchtime 20x \
+    ./internal/tok/ ./internal/parse/ ./internal/engine/ | tee "$TMP"
+$GO test -run xxx -bench 'BenchmarkConsume' -benchtime 10x \
+    ./internal/scanraw/ | tee -a "$TMP"
+
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": [" ; first = 1 }
+/^Benchmark/ {
+    name = $1; ns = $3
+    bop = ""; aop = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op") bop = $(i - 1)
+        if ($(i) == "allocs/op") aop = $(i - 1)
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    if (bop != "") printf ", \"bytes_per_op\": %s", bop
+    if (aop != "") printf ", \"allocs_per_op\": %s", aop
+    printf "}"
+    if (name ~ /^BenchmarkConsumeSerial/) serial = ns
+    if (name ~ /^BenchmarkConsumeParallel8/) par = ns
+}
+END {
+    print "\n  ],"
+    if (serial > 0 && par > 0)
+        printf "  \"consume_parallel_speedup\": %.2f,\n", serial / par
+    printf "  \"date\": \"%s\"\n", strftime("%Y-%m-%d")
+    print "}"
+}' "$TMP" > "$OUT"
+echo "wrote $OUT"
