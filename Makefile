@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-compare
 
 check: fmt vet build test race
 
@@ -29,6 +29,10 @@ race:
 	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/...
 
 # bench runs the benchmark suite across the hot packages and records the
-# raw output in BENCH_pr2.json (see README).
+# raw output in BENCH_pr3.json (see README). bench-compare diffs the two
+# most recent BENCH_*.json and fails on >20% hot-path regressions.
 bench:
 	@./scripts/bench.sh
+
+bench-compare:
+	@./scripts/bench_compare.sh

@@ -76,6 +76,7 @@ func main() {
 		samMode   = flag.Bool("sam", false, "use the SAM schema and tab delimiter")
 		policyStr = flag.String("policy", "speculative", "write policy")
 		workers   = flag.Int("workers", 8, "worker threads (0 = sequential)")
+		adaptive  = flag.Bool("adaptive", false, "resize the worker pool between queries from utilization feedback")
 		consumeW  = flag.Int("consume-workers", 1, "consume goroutines per query (parallel evaluation)")
 		chunk     = flag.Int("chunk", 1<<13, "lines per chunk")
 		cacheSz   = flag.Int("cache", 32, "binary cache capacity in chunks")
@@ -124,14 +125,15 @@ func main() {
 
 	reg := scanraw.NewRegistry(store)
 	opCfg := scanraw.Config{
-		Workers:        *workers,
-		ChunkLines:     *chunk,
-		CacheChunks:    *cacheSz,
-		Policy:         policy,
-		Safeguard:      true,
-		Delim:          delimByte,
-		CollectStats:   *stats,
-		ConsumeWorkers: *consumeW,
+		Workers:         *workers,
+		AdaptiveWorkers: *adaptive,
+		ChunkLines:      *chunk,
+		CacheChunks:     *cacheSz,
+		Policy:          policy,
+		Safeguard:       true,
+		Delim:           delimByte,
+		CollectStats:    *stats,
+		ConsumeWorkers:  *consumeW,
 	}
 	runOne := func(sql string) error {
 		ctx := context.Background()
@@ -150,11 +152,15 @@ func main() {
 			return err
 		}
 		fmt.Printf("> %s\n%s", sql, res)
-		fmt.Printf("[%.1f ms; chunks: %d cache, %d db, %d raw, %d skipped; loaded %d during run, %d queued; disk %s read, %s written]\n\n",
+		early := ""
+		if st.TerminatedEarly {
+			early = fmt.Sprintf("; terminated early, saved %d chunks", st.ChunksSaved)
+		}
+		fmt.Printf("[%.1f ms; chunks: %d cache, %d db, %d raw, %d skipped; loaded %d during run, %d queued; disk %s read, %s written%s]\n\n",
 			float64(st.Duration.Microseconds())/1000,
 			st.DeliveredCache, st.DeliveredDB, st.DeliveredRaw, st.SkippedChunks,
 			st.WrittenDuringRun, st.FlushedAfterRun,
-			mb(st.DiskReadBytes), mb(st.DiskWriteBytes))
+			mb(st.DiskReadBytes), mb(st.DiskWriteBytes), early)
 		return nil
 	}
 

@@ -105,6 +105,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		policyStr  = flag.String("policy", "speculative", "write policy")
 		workers    = flag.Int("workers", 8, "worker threads per operator (0 = sequential)")
+		adaptive   = flag.Bool("adaptive", false, "resize worker pools between queries from utilization feedback")
 		consumeW   = flag.Int("consume-workers", 1, "consume goroutines per query (parallel evaluation)")
 		chunkLines = flag.Int("chunk", 1<<13, "lines per chunk")
 		cacheSz    = flag.Int("cache", 32, "binary cache capacity in chunks")
@@ -187,14 +188,15 @@ func main() {
 			log.Fatalf("scanrawd: %v", err)
 		}
 		if err := srv.AddTable(table, scanraw.Config{
-			Workers:        *workers,
-			ChunkLines:     *chunkLines,
-			CacheChunks:    *cacheSz,
-			Policy:         policy,
-			Safeguard:      true,
-			Delim:          delim,
-			CollectStats:   *stats,
-			ConsumeWorkers: *consumeW,
+			Workers:         *workers,
+			AdaptiveWorkers: *adaptive,
+			ChunkLines:      *chunkLines,
+			CacheChunks:     *cacheSz,
+			Policy:          policy,
+			Safeguard:       true,
+			Delim:           delim,
+			CollectStats:    *stats,
+			ConsumeWorkers:  *consumeW,
 		}); err != nil {
 			log.Fatalf("scanrawd: %v", err)
 		}

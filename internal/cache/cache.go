@@ -168,6 +168,22 @@ func (c *Cache) Peek(id int) *chunk.BinaryChunk {
 	return nil
 }
 
+// Acquire returns the cached chunk with one pin already taken, atomically,
+// so the caller can use the chunk without racing an eviction (and the
+// vector recycling that may follow it). The caller must Unpin the ID when
+// done. Returns nil when the chunk is absent.
+func (c *Cache) Acquire(id int) *chunk.BinaryChunk {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return nil
+	}
+	e.pins++
+	e.lastUse = c.tick()
+	return e.bc
+}
+
 // Contains reports whether the chunk is cached.
 func (c *Cache) Contains(id int) bool {
 	c.mu.Lock()
@@ -246,6 +262,28 @@ func (c *Cache) OldestUnloaded() *chunk.BinaryChunk {
 	if best == nil {
 		return nil
 	}
+	return best.bc
+}
+
+// AcquireOldestUnloaded is OldestUnloaded with the returned chunk pinned
+// atomically, protecting the speculative WRITE thread's reference from a
+// concurrent eviction. The caller must Unpin the returned chunk's ID.
+func (c *Cache) AcquireOldestUnloaded() *chunk.BinaryChunk {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *entry
+	for _, e := range c.entries {
+		if e.loaded {
+			continue
+		}
+		if best == nil || e.inserted < best.inserted {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.pins++
 	return best.bc
 }
 

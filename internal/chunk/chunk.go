@@ -214,6 +214,21 @@ func (b *BinaryChunk) Clone() *BinaryChunk {
 	return nb
 }
 
+// RecycleColumns returns the chunk's column vectors to the shared pools
+// (see GetVector) and clears the column table. Only the code that can prove
+// exclusive ownership may call it: no other BinaryChunk shares the vectors
+// (Clone and Merge alias them across copies of the *same* chunk ID) and no
+// reader still holds the chunk — in the operator that means a cleanly
+// evicted, unpinned cache entry.
+func (b *BinaryChunk) RecycleColumns() {
+	for i, v := range b.cols {
+		if v != nil {
+			PutVector(v)
+			b.cols[i] = nil
+		}
+	}
+}
+
 // Merge copies the columns present in o but absent here into b. Both chunks
 // must describe the same chunk ID, row count, and schema. It is used when a
 // chunk is partially cached and the missing columns arrive from the raw

@@ -14,8 +14,9 @@ import (
 //
 // Ownership rule: a vector obtained from GetVector may be released with
 // PutVector exactly once, and only by the code that obtained it. Vectors
-// installed into a BinaryChunk (cacheable, shared across queries) must
-// never be released.
+// installed into a BinaryChunk (cacheable, shared across queries) are only
+// released through BinaryChunk.RecycleColumns, whose exclusive-ownership
+// contract makes the release safe.
 var vecPools = [3]sync.Pool{
 	{New: func() any { return &Vector{Type: schema.Int64} }},
 	{New: func() any { return &Vector{Type: schema.Float64} }},

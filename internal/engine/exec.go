@@ -226,7 +226,8 @@ type group struct {
 // and parallel (ParallelExecutor) paths share one evaluation code path and
 // agree by construction; only the merge step differs.
 type Executor struct {
-	p *Partial
+	p     *Partial
+	bound *BoundHolder
 }
 
 // NewExecutor validates q and builds an executor.
@@ -235,7 +236,7 @@ func NewExecutor(q *Query, sch *schema.Schema) (*Executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Executor{p: p}, nil
+	return &Executor{p: p, bound: NewBoundHolder(q)}, nil
 }
 
 // ConsumeContext folds one chunk into the running result after checking
@@ -250,8 +251,22 @@ func (e *Executor) ConsumeContext(ctx context.Context, bc *chunk.BinaryChunk) er
 // Consume folds one chunk into the running result. Executor is
 // single-consumer: calls must not overlap.
 func (e *Executor) Consume(bc *chunk.BinaryChunk) error {
-	return e.p.Consume(bc)
+	_, err := e.ConsumeCounted(bc)
+	return err
 }
+
+// ConsumeCounted is Consume returning the number of rows that passed the
+// WHERE clause, and refreshes the top-k bound for concurrent Bound readers.
+func (e *Executor) ConsumeCounted(bc *chunk.BinaryChunk) (int, error) {
+	matched, err := e.p.ConsumeCounted(bc)
+	e.bound.Update(e.p)
+	return matched, err
+}
+
+// Bound returns the current top-k cutoff for ORDER BY ... LIMIT chunk
+// pruning. Unlike reading the partial's heap directly, it is safe to call
+// from the READ goroutine while Consume runs on the delivery goroutine.
+func (e *Executor) Bound() ([]Value, bool) { return e.bound.Bound() }
 
 // Result materializes the final result. For grouped queries rows are
 // ordered by group key for determinism; a scalar aggregate over zero rows

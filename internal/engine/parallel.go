@@ -20,10 +20,11 @@ import (
 // serial Executor over the same chunks (see Partial for the determinism
 // contract and the float-summation caveat).
 type ParallelExecutor struct {
-	q    *Query
-	pool chan *Partial
-	all  []*Partial
-	done atomic.Bool
+	q     *Query
+	pool  chan *Partial
+	all   []*Partial
+	done  atomic.Bool
+	bound *BoundHolder
 }
 
 // NewParallelExecutor validates q and builds an executor with `workers`
@@ -33,9 +34,10 @@ func NewParallelExecutor(q *Query, sch *schema.Schema, workers int) (*ParallelEx
 		workers = 1
 	}
 	pe := &ParallelExecutor{
-		q:    q,
-		pool: make(chan *Partial, workers),
-		all:  make([]*Partial, workers),
+		q:     q,
+		pool:  make(chan *Partial, workers),
+		all:   make([]*Partial, workers),
+		bound: NewBoundHolder(q),
 	}
 	for i := range pe.all {
 		p, err := NewPartial(q, sch)
@@ -57,14 +59,28 @@ func (pe *ParallelExecutor) Workers() int { return len(pe.all) }
 // Consume folds one chunk into an idle partial. Safe to call from many
 // goroutines concurrently.
 func (pe *ParallelExecutor) Consume(bc *chunk.BinaryChunk) error {
-	if pe.done.Load() {
-		return fmt.Errorf("engine: Consume after Result")
-	}
-	p := <-pe.pool
-	err := p.Consume(bc)
-	pe.pool <- p
+	_, err := pe.ConsumeCounted(bc)
 	return err
 }
+
+// ConsumeCounted is Consume returning the number of rows that passed the
+// WHERE clause. It also refreshes the shared top-k bound while the partial
+// is still checked out, so Bound never races a concurrent Consume.
+func (pe *ParallelExecutor) ConsumeCounted(bc *chunk.BinaryChunk) (int, error) {
+	if pe.done.Load() {
+		return 0, fmt.Errorf("engine: Consume after Result")
+	}
+	p := <-pe.pool
+	matched, err := p.ConsumeCounted(bc)
+	pe.bound.Update(p)
+	pe.pool <- p
+	return matched, err
+}
+
+// Bound returns the tightest top-k cutoff any single partial has
+// established, for ORDER BY ... LIMIT chunk pruning. Safe to call
+// concurrently with Consume.
+func (pe *ParallelExecutor) Bound() ([]Value, bool) { return pe.bound.Bound() }
 
 // ConsumeContext is Consume with a cancellation check at the chunk
 // boundary.
@@ -80,6 +96,23 @@ func (pe *ParallelExecutor) ConsumeContext(ctx context.Context, bc *chunk.Binary
 // the merge sequence does not depend on scheduling (chunk→partial
 // assignment still does; see Partial on float summation).
 func (pe *ParallelExecutor) Result() (*Result, error) {
+	parts, err := pe.Finish()
+	if err != nil {
+		return nil, err
+	}
+	root := parts[0]
+	for _, p := range parts[1:] {
+		if err := root.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	return root.Result()
+}
+
+// Finish waits for in-flight Consume calls and returns the raw partials
+// without merging them, for callers that stream the merged output instead of
+// materializing it (see RunMerger). After Finish the executor is done.
+func (pe *ParallelExecutor) Finish() ([]*Partial, error) {
 	if pe.done.Swap(true) {
 		return nil, fmt.Errorf("engine: Result called twice")
 	}
@@ -88,11 +121,5 @@ func (pe *ParallelExecutor) Result() (*Result, error) {
 	for range pe.all {
 		<-pe.pool
 	}
-	root := pe.all[0]
-	for _, p := range pe.all[1:] {
-		if err := root.Merge(p); err != nil {
-			return nil, err
-		}
-	}
-	return root.Result()
+	return pe.all, nil
 }

@@ -76,12 +76,24 @@ func (p *Partial) ConsumeContext(ctx context.Context, bc *chunk.BinaryChunk) err
 // Consume must not be called concurrently on the same partial (use one
 // partial per consume worker, or ParallelExecutor which enforces this).
 func (p *Partial) Consume(bc *chunk.BinaryChunk) error {
+	_, err := p.ConsumeCounted(bc)
+	return err
+}
+
+// ConsumeCounted is Consume returning the number of rows that passed the
+// WHERE clause, the signal demand-driven termination needs to decide when a
+// LIMIT is provably met.
+func (p *Partial) ConsumeCounted(bc *chunk.BinaryChunk) (int, error) {
 	if p.done {
-		return fmt.Errorf("engine: Consume after Result")
+		return 0, fmt.Errorf("engine: Consume after Result")
 	}
 	sel, selv, err := p.selection(bc)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	matched := bc.Rows
+	if sel != nil {
+		matched = len(sel)
 	}
 	if p.q.IsAggregate() {
 		err = p.consumeAgg(bc, sel)
@@ -91,7 +103,23 @@ func (p *Partial) Consume(bc *chunk.BinaryChunk) error {
 	if selv != nil {
 		releaseScratch(p.q.Where, selv)
 	}
-	return err
+	return matched, err
+}
+
+// Bound returns the partial's current top-k cutoff — the output values of
+// the worst row the heap retains — and whether the heap is full. Only a full
+// heap yields a bound: until then any future row would still be kept. The
+// bound is sound for pruning on its own (a chunk whose every row sorts
+// strictly after it cannot enter the final top-k even combined with other
+// partials, since this partial alone already holds k better rows).
+func (p *Partial) Bound() ([]Value, bool) {
+	if p.top == nil || len(p.top.entries) < p.top.k {
+		return nil, false
+	}
+	worst := p.top.entries[0].vals
+	out := make([]Value, len(worst))
+	copy(out, worst)
+	return out, true
 }
 
 // selection evaluates WHERE and returns the qualifying row ordinals (nil
@@ -433,8 +461,12 @@ func (p *Partial) finalize(g *group) []Value {
 
 // prowLess is the canonical row order: ORDER BY keys first, then chunk ID,
 // then row ordinal within the chunk.
-func (p *Partial) prowLess(a, b *prow) bool {
-	for _, k := range p.q.OrderBy {
+func (p *Partial) prowLess(a, b *prow) bool { return prowLessQ(p.q, a, b) }
+
+// prowLessQ is prowLess as a standalone function, shared with the run merger
+// which orders rows across partials it no longer owns.
+func prowLessQ(q *Query, a, b *prow) bool {
+	for _, k := range q.OrderBy {
 		c := compareValues(a.vals[k.Column], b.vals[k.Column])
 		if k.Desc {
 			c = -c

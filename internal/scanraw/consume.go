@@ -2,6 +2,7 @@ package scanraw
 
 import (
 	"sync"
+	"time"
 )
 
 // deliverer is the CONSUME stage of a run: it feeds delivered binary chunks
@@ -96,7 +97,16 @@ func (d *deliverer) failedErr() error {
 // fan-out mode the failure may belong to an earlier chunk.
 func (d *deliverer) deliver(bc *BinaryChunk, after func()) {
 	if d.ch != nil {
-		d.ch <- deliverItem{bc: bc, after: after}
+		// Time spent blocked here is the consume-stall signal: the producer
+		// had a chunk ready but every consume worker was busy.
+		select {
+		case d.ch <- deliverItem{bc: bc, after: after}:
+		default:
+			start := time.Now()
+			d.ch <- deliverItem{bc: bc, after: after}
+			d.o.prof.consumeStallNs.Add(int64(time.Since(start)))
+		}
+		d.o.prof.consumeStallCh.Add(1)
 		return
 	}
 	if d.failedErr() == nil {

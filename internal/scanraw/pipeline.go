@@ -60,8 +60,14 @@ type run struct {
 
 	writeQ chan *BinaryChunk // FullLoad write queue
 
-	cacheMu   sync.Mutex
-	cacheCond *sync.Cond
+	gate *cacheGate // wakes cache-insert waiters when pins release
+
+	// Demand-driven termination: satisfied latches once the request's
+	// Satisfied signal fires; satCh (when non-nil) is closed at the same
+	// moment so blocked producers wake instead of waiting for the drain.
+	satisfied atomic.Bool
+	satOnce   sync.Once
+	satCh     chan struct{}
 
 	invisibleLeft atomic.Int64
 
@@ -70,7 +76,34 @@ type run struct {
 	deliveredRaw atomic.Int64
 	skipped      atomic.Int64
 
+	// Consume-queue depth sampling (delivery loop): the resizer's signal
+	// that chunks pile up in front of the consume stage.
+	depthSum atomic.Int64
+	depthN   atomic.Int64
+
 	blocked blockedTimer // READ time lost to a full text buffer
+}
+
+// cacheGate is the condition variable cache-insert waiters block on while
+// every cache slot is pinned. It is created per RunContext call — before
+// the phase-1 cached deliveries — because with fan-out consume, phase-1
+// chunks may still be pinned when the pipeline starts, and their release
+// must wake the pipeline's waiters.
+type cacheGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func newCacheGate() *cacheGate {
+	g := &cacheGate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *cacheGate) broadcast() {
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
 }
 
 func (r *run) fail(err error) {
@@ -85,10 +118,26 @@ func (r *run) fail(err error) {
 		if r.del != nil {
 			r.del.setErr(err)
 		}
-		r.cacheMu.Lock()
-		r.cacheCond.Broadcast()
-		r.cacheMu.Unlock()
+		r.gate.broadcast()
 	})
+}
+
+// demandSatisfied polls the request's Satisfied signal, latching the result
+// and closing satCh on the first true so the pipeline stops issuing chunks.
+func (r *run) demandSatisfied() bool {
+	if r.satisfied.Load() {
+		return true
+	}
+	if r.req.Satisfied != nil && r.req.Satisfied() {
+		r.satisfied.Store(true)
+		r.satOnce.Do(func() {
+			if r.satCh != nil {
+				close(r.satCh)
+			}
+		})
+		return true
+	}
+	return false
 }
 
 func (r *run) failed() bool {
@@ -166,29 +215,52 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 	// run: cached delivery, the pipeline, and the sequential fallback all
 	// feed it, so consume parallelism applies to cache-warmed runs too.
 	del := o.newDeliverer(req.Deliver, o.consumeWorkersFor(req))
+	gate := newCacheGate()
+	sat := func() bool { return req.Satisfied != nil && req.Satisfied() }
 
 	// Phase 1: deliver cached chunks first (§3.2.1 delivery order). The
 	// previous query's safeguard flush may still be writing — that is
-	// fine, cached delivery needs no disk.
+	// fine, cached delivery needs no disk. Each delivery holds a pin until
+	// its consume finishes: the pipeline that follows may evict and recycle
+	// cache entries, and a fan-out consume may still be reading this chunk
+	// when it starts.
 	delivered := make(map[int]bool)
 	for _, id := range o.cache.IDs() {
+		if sat() {
+			break
+		}
 		if err := ctx.Err(); err != nil {
 			_ = del.close()
 			st.Duration = time.Since(start)
 			return st, err
 		}
-		bc := o.cache.Get(id)
-		if bc == nil || !bc.HasAll(req.Columns) {
+		bc := o.cache.Acquire(id)
+		if bc == nil {
+			continue
+		}
+		if !bc.HasAll(req.Columns) {
+			if err := o.cache.Unpin(id); err != nil {
+				del.setErr(err)
+			}
 			continue
 		}
 		if req.Skip != nil {
 			if meta, ok := o.table.Chunk(id); ok && req.Skip(meta) {
+				if err := o.cache.Unpin(id); err != nil {
+					del.setErr(err)
+				}
 				delivered[id] = true
 				st.SkippedChunks++
 				continue
 			}
 		}
-		del.deliver(bc, nil)
+		id := id
+		del.deliver(bc, func() {
+			if err := o.cache.Unpin(id); err != nil {
+				del.setErr(err)
+			}
+			gate.broadcast()
+		})
 		if err := del.failedErr(); err != nil {
 			_ = del.close()
 			return st, err
@@ -203,10 +275,13 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 	workers := o.workers
 	var err error
 	var r *run
-	if workers == 0 {
-		r, err = o.runSequential(ctx, req, del, delivered)
-	} else {
-		r, err = o.runParallel(ctx, req, del, delivered, workers)
+	switch {
+	case sat():
+		// Satisfied from the cache alone: no disk scan needed.
+	case workers == 0:
+		r, err = o.runSequential(ctx, req, del, delivered, gate)
+	default:
+		r, err = o.runParallel(ctx, req, del, delivered, workers, gate)
 	}
 	// All deliver calls have returned: drain the consume workers and
 	// surface any consume error that had not reached the run yet.
@@ -221,9 +296,24 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 		st.WorkersUsed = workers
 		st.ReadBlocked = r.blocked.total()
 	}
+	if err == nil && sat() {
+		// Demand-driven termination accounting: chunks the file holds that
+		// this run neither delivered nor skipped were saved outright.
+		saved := o.table.NumChunks() - st.Delivered() - st.SkippedChunks
+		if saved < 0 {
+			saved = 0
+		}
+		if saved > 0 || !o.table.Complete() {
+			st.TerminatedEarly = true
+			st.ChunksSaved = saved
+		}
+	}
 
 	// Safeguard: flush the cache's unloaded chunks in the background; the
-	// next query's disk reads wait for it.
+	// next query's disk reads wait for it. An early-terminated run flushes
+	// too — already-converted chunks are exactly the speculative-loading
+	// payoff (§4), and the pins taken per chunk keep a concurrent next-query
+	// eviction from recycling what the flush is writing.
 	if err == nil && o.cfg.Safeguard &&
 		(o.cfg.Policy == Speculative || o.cfg.Policy == BufferedLoad) {
 		ids := o.cache.UnloadedIDs()
@@ -236,11 +326,15 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 					if o.cache.IsLoaded(id) {
 						continue
 					}
-					bc := o.cache.Peek(id)
+					bc := o.cache.Acquire(id)
 					if bc == nil {
 						continue
 					}
-					if werr := o.writeChunk(bc); werr != nil {
+					werr := o.writeChunk(bc)
+					if uerr := o.cache.Unpin(id); werr == nil {
+						werr = uerr
+					}
+					if werr != nil {
 						o.setFlushErr(werr)
 						return
 					}
@@ -258,11 +352,19 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 	st.DiskReadBytes = diskDelta.ReadBytes
 	st.DiskWriteBytes = diskDelta.WriteBytes
 	if err == nil {
-		o.adaptWorkers(ResourceReport{
-			Workers:     workers,
-			ReadBlocked: st.ReadBlocked,
-			Duration:    st.Duration,
-		})
+		rep := ResourceReport{
+			Workers:      workers,
+			ReadBlocked:  st.ReadBlocked,
+			Duration:     st.Duration,
+			ConsumeStall: st.Profile.ConsumeStall.Time,
+		}
+		if r != nil {
+			if n := r.depthN.Load(); n > 0 {
+				rep.ConsumeQueueDepth = float64(r.depthSum.Load()) / float64(n)
+				rep.ConsumeQueueCap = o.cfg.CacheChunks
+			}
+		}
+		o.adaptWorkers(rep)
 	}
 	return st, err
 }
@@ -286,7 +388,7 @@ func (o *Operator) takeFlushErr() error {
 
 // runParallel executes the super-scalar pipeline with the given worker
 // pool size.
-func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer, delivered map[int]bool, workers int) (*run, error) {
+func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer, delivered map[int]bool, workers int, gate *cacheGate) (*run, error) {
 	r := &run{
 		op:           o,
 		req:          req,
@@ -304,8 +406,11 @@ func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer,
 		specNotify:   make(chan struct{}, 1),
 		finish:       make(chan struct{}),
 		convDone:     make(chan struct{}),
+		gate:         gate,
 	}
-	r.cacheCond = sync.NewCond(&r.cacheMu)
+	if req.Satisfied != nil {
+		r.satCh = make(chan struct{})
+	}
 	r.invisibleLeft.Store(int64(o.cfg.InvisibleChunksPerQuery))
 	for i := 0; i < o.cfg.TextBufferChunks; i++ {
 		r.freeText <- struct{}{}
@@ -364,18 +469,23 @@ func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer,
 	// it hands each chunk to the consume stage, whose after-hook releases
 	// the chunk's pin and binary-buffer budget only once evaluation is
 	// done — in fan-out mode that keeps at most ParallelConsume chunks in
-	// flight past the buffer budget.
+	// flight past the buffer budget. The loop drains deliverCh even after
+	// the demand is satisfied: consumers ignore surplus chunks, and the
+	// after-hooks must still run for the teardown invariants.
 	for bc := range r.deliverCh {
 		bc := bc
+		r.depthSum.Add(int64(len(r.deliverCh)))
+		r.depthN.Add(1)
 		r.del.deliver(bc, func() {
 			if err := o.cache.Unpin(bc.ID); err != nil {
 				r.fail(err)
 			}
 			r.freeBin <- struct{}{} // undelivered-chunk budget freed
-			r.cacheMu.Lock()
-			r.cacheCond.Broadcast()
-			r.cacheMu.Unlock()
+			r.gate.broadcast()
 			r.poke()
+			// Consume finished: the natural point to notice the demand is
+			// now satisfied and latch the termination signal.
+			r.demandSatisfied()
 		})
 		if err := r.del.failedErr(); err != nil {
 			r.fail(err)
@@ -406,6 +516,11 @@ func (r *run) readLoop(delivered map[int]bool) error {
 		if r.failed() {
 			return nil
 		}
+		if r.demandSatisfied() {
+			// The result is provably complete: stop issuing chunks. No
+			// SetComplete — the file was not scanned to the end.
+			return nil
+		}
 		meta, known := o.table.Chunk(id)
 		if known {
 			next := off + meta.RawLen
@@ -420,15 +535,23 @@ func (r *run) readLoop(delivered map[int]bool) error {
 				case <-r.freeBin:
 				case <-r.done:
 					return nil
+				case <-r.satCh:
+					return nil
 				}
 				bc, err := o.dbRead(id, r.req.Columns)
 				if err != nil {
 					r.freeBin <- struct{}{}
 					return err
 				}
-				if !r.putPinnedWait(bc, true) {
+				evicted, evLoaded, ok := r.putPinnedWaitEv(bc, true)
+				if !ok {
 					r.freeBin <- struct{}{}
 					return nil
+				}
+				if err := r.retireEvicted(evicted, evLoaded); err != nil {
+					_ = o.cache.Unpin(bc.ID)
+					r.freeBin <- struct{}{}
+					return err
 				}
 				select {
 				case r.deliverCh <- bc:
@@ -496,6 +619,10 @@ func (r *run) sendText(tc *chunk.TextChunk) bool {
 			r.readBlocked.Store(false)
 			r.blocked.add(time.Since(start))
 			return false
+		case <-r.satCh:
+			r.readBlocked.Store(false)
+			r.blocked.add(time.Since(start))
+			return false
 		}
 		r.readBlocked.Store(false)
 		r.blocked.add(time.Since(start))
@@ -504,6 +631,8 @@ func (r *run) sendText(tc *chunk.TextChunk) bool {
 	case r.textBuf <- tc:
 		return true
 	case <-r.done:
+		return false
+	case <-r.satCh:
 		return false
 	}
 }
@@ -514,7 +643,10 @@ func (r *run) tokenizeConsumer() {
 	for tc := range r.textBuf {
 		// Chunk extracted: its slot frees, allowing READ to produce.
 		r.freeText <- struct{}{}
-		if r.failed() {
+		if r.failed() || r.satisfied.Load() {
+			// Satisfied: queued text chunks are dead weight — drop them so
+			// only in-flight conversion tasks finish (and reach the cache
+			// for the safeguard flush).
 			continue
 		}
 		// Destination space before worker (§3.2.1: "even if a thread is
@@ -566,6 +698,10 @@ func (r *run) parseConsumer() {
 	for item := range r.posBuf {
 		r.freePos <- struct{}{}
 		if r.failed() {
+			continue
+		}
+		if r.satisfied.Load() {
+			r.op.releaseMap(item.tc.ID, item.pm)
 			continue
 		}
 		select {
@@ -628,19 +764,22 @@ func (r *run) parseTask(item posItem, slot *workerSlot) {
 		r.freeBin <- struct{}{}
 		return
 	}
-	if o.cfg.Policy == BufferedLoad && evicted != nil && !evictedLoaded {
-		if err := r.runWrite(evicted); err != nil {
-			r.fail(err)
-			_ = o.cache.Unpin(bc.ID)
-			r.freeBin <- struct{}{}
-			return
-		}
+	if err := r.retireEvicted(evicted, evictedLoaded); err != nil {
+		r.fail(err)
+		_ = o.cache.Unpin(bc.ID)
+		r.freeBin <- struct{}{}
+		return
 	}
 	if o.cfg.Policy == FullLoad {
+		// The write queue holds its own pin: the chunk may be consumed and
+		// unpinned (then evicted and recycled) before the WRITE thread gets
+		// to it otherwise.
+		o.cache.Pin(bc.ID)
 		select {
 		case r.writeQ <- bc:
 		case <-r.done:
-			_ = o.cache.Unpin(bc.ID)
+			_ = o.cache.Unpin(bc.ID) // write-queue pin
+			_ = o.cache.Unpin(bc.ID) // delivery pin
 			r.freeBin <- struct{}{}
 			return
 		}
@@ -653,6 +792,25 @@ func (r *run) parseTask(item posItem, slot *workerSlot) {
 		_ = o.cache.Unpin(bc.ID)
 		r.freeBin <- struct{}{}
 	}
+}
+
+// retireEvicted finishes an evicted chunk's life: under BufferedLoad an
+// unloaded evictee is first written to the database (the policy's defining
+// write trigger), then the chunk's vectors return to the shared pools. The
+// recycle is safe because eviction implies zero pins, and every consumer of
+// a cached chunk — delivery, write queue, safeguard flush, speculative
+// scheduler — holds a pin for the duration of its use.
+func (r *run) retireEvicted(evicted *BinaryChunk, evictedLoaded bool) error {
+	if evicted == nil {
+		return nil
+	}
+	if r.op.cfg.Policy == BufferedLoad && !evictedLoaded {
+		if err := r.runWrite(evicted); err != nil {
+			return err
+		}
+	}
+	evicted.RecycleColumns()
+	return nil
 }
 
 func (r *run) recordStats(bc *BinaryChunk) error {
@@ -678,8 +836,8 @@ func (r *run) putPinnedWait(bc *BinaryChunk, loaded bool) bool {
 }
 
 func (r *run) putPinnedWaitEv(bc *BinaryChunk, loaded bool) (*BinaryChunk, bool, bool) {
-	r.cacheMu.Lock()
-	defer r.cacheMu.Unlock()
+	r.gate.mu.Lock()
+	defer r.gate.mu.Unlock()
 	for {
 		if r.failed() {
 			return nil, false, false
@@ -688,21 +846,26 @@ func (r *run) putPinnedWaitEv(bc *BinaryChunk, loaded bool) (*BinaryChunk, bool,
 		if ok {
 			return evicted, evLoaded, true
 		}
-		r.cacheCond.Wait()
+		r.gate.cond.Wait()
 	}
 }
 
 // writeLoop is the WRITE thread under the FullLoad policy: it stores every
-// converted chunk, overlapping with conversion and query processing.
+// converted chunk, overlapping with conversion and query processing. Each
+// queued chunk carries a pin taken by parseTask; release it here whether or
+// not the write happened.
 func (r *run) writeLoop() {
 	defer r.writeWG.Done()
 	for bc := range r.writeQ {
-		if r.failed() {
-			continue
+		if !r.failed() {
+			if err := r.runWrite(bc); err != nil {
+				r.fail(err)
+			}
 		}
-		if err := r.runWrite(bc); err != nil {
+		if err := r.op.cache.Unpin(bc.ID); err != nil {
 			r.fail(err)
 		}
+		r.gate.broadcast()
 	}
 }
 
@@ -722,11 +885,18 @@ func (r *run) scheduler() {
 			return
 		}
 		for r.writableNow() {
-			bc := o.cache.OldestUnloaded()
+			// The pin protects the chunk from a concurrent eviction (and the
+			// vector recycling that follows) while it is being written.
+			bc := o.cache.AcquireOldestUnloaded()
 			if bc == nil {
 				break
 			}
-			if err := r.runWrite(bc); err != nil {
+			err := r.runWrite(bc)
+			if uerr := o.cache.Unpin(bc.ID); err == nil {
+				err = uerr
+			}
+			r.gate.broadcast()
+			if err != nil {
 				r.fail(err)
 				return
 			}

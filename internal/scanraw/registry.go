@@ -105,8 +105,13 @@ func (r *Registry) Len() int {
 
 // queryConsumer is the engine surface the operator drives: the serial
 // engine.Executor and the fan-out engine.ParallelExecutor both satisfy it.
+// ConsumeCounted and Bound feed demand-driven termination: the matched-row
+// count advances the LIMIT frontier, and the top-k cutoff prunes chunks for
+// ORDER BY ... LIMIT.
 type queryConsumer interface {
 	ConsumeContext(ctx context.Context, bc *BinaryChunk) error
+	ConsumeCounted(bc *BinaryChunk) (int, error)
+	Bound() ([]engine.Value, bool)
 	Result() (*engine.Result, error)
 }
 
@@ -145,18 +150,45 @@ func ExecuteQueryContext(ctx context.Context, op *Operator, q *engine.Query) (*e
 		// scanned; converting the first column is the cheapest way.
 		cols = []int{0}
 	}
-	req := Request{
+	req := demandRequest(ctx, q, ex, Request{
 		Columns:         cols,
-		Deliver:         func(bc *BinaryChunk) error { return ex.ConsumeContext(ctx, bc) },
 		Skip:            SkipFromPredicate(q.Where),
 		ParallelConsume: n,
-	}
+	})
 	st, err := op.RunContext(ctx, req)
 	if err != nil {
 		return nil, st, err
 	}
 	res, err := ex.Result()
 	return res, st, err
+}
+
+// demandRequest completes a Request with the delivery callback and the
+// demand-driven termination wiring for one query: matched-row counts feed
+// the LIMIT frontier, the executor's top-k cutoff prunes chunks, and the
+// Satisfied signal (when the query has a termination profile) lets the scan
+// stop before end-of-file.
+func demandRequest(ctx context.Context, q *engine.Query, ex queryConsumer, base Request) Request {
+	dem := NewDemand(q, ex)
+	base.Deliver = func(bc *BinaryChunk) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if dem.IsSatisfied() {
+			// Surplus chunk that was already in flight when the demand
+			// latched: it provably cannot change the result.
+			return nil
+		}
+		matched, err := ex.ConsumeCounted(bc)
+		if err != nil {
+			return err
+		}
+		dem.RecordChunk(bc.ID, matched)
+		return nil
+	}
+	base.Skip = dem.WrapSkip(base.Skip)
+	base.Satisfied = dem.SatisfiedFn()
+	return base
 }
 
 // ExecuteSQL parses sql against the table's schema and executes it through

@@ -22,6 +22,11 @@ import (
 //     run's wall-clock the READ thread spent blocked on a full buffer.
 //   - I/O-bound: READ is (almost) never blocked, so workers idle; the
 //     pool can shrink and the cores go back to the resource manager.
+//   - Consume-bound: conversion outruns the execution engine — the delivery
+//     producer stalls waiting for a free consume worker and chunks pile up
+//     in the binary buffer. More conversion workers cannot help (the
+//     bottleneck is downstream), so the pool shrinks and the freed cores go
+//     where the resource manager can use them.
 
 // ResourceReport is the utilization summary one Run relays to the
 // resource manager.
@@ -33,6 +38,15 @@ type ResourceReport struct {
 	ReadBlocked time.Duration
 	// Duration is the run wall-clock time.
 	Duration time.Duration
+	// ConsumeStall is the total time the delivery producer spent waiting
+	// for a free consume worker (fan-out consume only).
+	ConsumeStall time.Duration
+	// ConsumeQueueDepth is the average number of converted chunks queued in
+	// front of the consume stage, sampled at each delivery; ConsumeQueueCap
+	// is the queue's capacity (the binary-buffer budget). Zero cap means no
+	// samples were taken.
+	ConsumeQueueDepth float64
+	ConsumeQueueCap   int
 }
 
 // BlockedFraction is ReadBlocked over Duration, clamped to [0,1].
@@ -47,12 +61,41 @@ func (r ResourceReport) BlockedFraction() float64 {
 	return f
 }
 
+// ConsumeStallFraction is ConsumeStall over Duration, clamped to [0,1].
+func (r ResourceReport) ConsumeStallFraction() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	f := float64(r.ConsumeStall) / float64(r.Duration)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// ConsumeBound reports whether the run's bottleneck was the consume stage:
+// the delivery producer stalled for a significant share of the run, or the
+// consume queue stayed mostly full. Either way, converted chunks were
+// waiting on the engine — adding conversion workers cannot speed the run up.
+func (r ResourceReport) ConsumeBound() bool {
+	if r.ConsumeStallFraction() > consumeStallAbove {
+		return true
+	}
+	return r.ConsumeQueueCap > 0 &&
+		r.ConsumeQueueDepth > consumeDepthAbove*float64(r.ConsumeQueueCap)
+}
+
 // Thresholds for the adaptation heuristic: grow the pool when READ was
 // blocked for more than growAbove of the run, shrink it when less than
-// shrinkBelow.
+// shrinkBelow. The consume-bound signals override the READ-blocked ones —
+// a consume bottleneck also blocks READ (back-pressure through the full
+// binary buffer), and growing the pool on that signal would be exactly
+// wrong.
 const (
-	growAbove   = 0.25
-	shrinkBelow = 0.02
+	growAbove         = 0.25
+	shrinkBelow       = 0.02
+	consumeStallAbove = 0.25
+	consumeDepthAbove = 0.75
 )
 
 // adaptWorkers adjusts the pool size for the next run based on the
@@ -65,6 +108,12 @@ func (o *Operator) adaptWorkers(rep ResourceReport) {
 	min, max := o.cfg.MinWorkers, o.cfg.MaxWorkers
 	next := rep.Workers
 	switch f := rep.BlockedFraction(); {
+	case rep.ConsumeBound():
+		// Consume-bound: the engine, not conversion, is the bottleneck.
+		// Shrink so the freed cores can serve parallel consume elsewhere.
+		if rep.Workers > min {
+			next = rep.Workers - 1
+		}
 	case f > growAbove:
 		// CPU-bound: request more cores, doubling toward the cap so a
 		// badly undersized pool converges in a few queries.

@@ -113,3 +113,60 @@ func TestAdaptiveWorkersConfigDefaults(t *testing.T) {
 		t.Errorf("bounds not normalized: [%d,%d]", cfg2.MinWorkers, cfg2.MaxWorkers)
 	}
 }
+
+func TestConsumeBoundSignals(t *testing.T) {
+	cases := []struct {
+		rep  ResourceReport
+		want bool
+	}{
+		// Producer stalled for half the run: consume-bound.
+		{ResourceReport{ConsumeStall: 500 * time.Millisecond, Duration: time.Second}, true},
+		// Mild stall below the threshold: not consume-bound.
+		{ResourceReport{ConsumeStall: 100 * time.Millisecond, Duration: time.Second}, false},
+		// Queue sitting near capacity: consume-bound even without stall time.
+		{ResourceReport{Duration: time.Second, ConsumeQueueDepth: 7, ConsumeQueueCap: 8}, true},
+		// Shallow queue: not consume-bound.
+		{ResourceReport{Duration: time.Second, ConsumeQueueDepth: 2, ConsumeQueueCap: 8}, false},
+		// No samples (zero cap): depth is meaningless.
+		{ResourceReport{Duration: time.Second, ConsumeQueueDepth: 7, ConsumeQueueCap: 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.rep.ConsumeBound(); got != c.want {
+			t.Errorf("ConsumeBound(%+v) = %v, want %v", c.rep, got, c.want)
+		}
+	}
+}
+
+func TestAdaptWorkersConsumeBoundShrinks(t *testing.T) {
+	env := newEnv(t, 64, 2, nil)
+	op := New(env.store, env.table, Config{
+		Workers: 8, AdaptiveWorkers: true, MinWorkers: 2, MaxWorkers: 16,
+	})
+	// Consume stall dominates: shrink by one even though READ was blocked
+	// long enough that the CPU-bound rule alone would have doubled the pool.
+	op.adaptWorkers(ResourceReport{
+		Workers: 8, ReadBlocked: 900 * time.Millisecond, Duration: time.Second,
+		ConsumeStall: 600 * time.Millisecond,
+	})
+	if op.workers != 7 {
+		t.Errorf("consume-stall + CPU-bound: workers = %d, want 7 (shrink overrides grow)", op.workers)
+	}
+	// Deep consume queue alone also shrinks.
+	op.adaptWorkers(ResourceReport{
+		Workers: 7, Duration: time.Second,
+		ConsumeQueueDepth: 6.5, ConsumeQueueCap: 8,
+	})
+	if op.workers != 6 {
+		t.Errorf("deep queue: workers = %d, want 6", op.workers)
+	}
+	// Never below the floor.
+	op2 := New(env.store, env.table, Config{
+		Workers: 2, AdaptiveWorkers: true, MinWorkers: 2, MaxWorkers: 8,
+	})
+	op2.adaptWorkers(ResourceReport{
+		Workers: 2, Duration: time.Second, ConsumeStall: time.Second,
+	})
+	if op2.workers != 2 {
+		t.Errorf("floor: workers = %d, want 2", op2.workers)
+	}
+}

@@ -213,38 +213,45 @@ func (s StageProfile) PerChunk() time.Duration {
 
 // Profile holds per-stage accumulators (the paper's Fig. 5 measurement).
 // Consume is the engine-side evaluation time of delivered chunks — the
-// stage the parallel delivery mode spreads across workers.
+// stage the parallel delivery mode spreads across workers. ConsumeStall is
+// the time the delivery producer spent waiting for a free consume worker
+// / (Chunks counts fan-out hand-offs): the backpressure signal that tells the
+// resource manager the consume stage, not conversion, is the bottleneck.
 type Profile struct {
-	Read     StageProfile
-	Tokenize StageProfile
-	Parse    StageProfile
-	Write    StageProfile
-	Consume  StageProfile
+	Read         StageProfile
+	Tokenize     StageProfile
+	Parse        StageProfile
+	Write        StageProfile
+	Consume      StageProfile
+	ConsumeStall StageProfile
 }
 
 // Sub returns p - o, for per-run deltas.
 func (p Profile) Sub(o Profile) Profile {
 	return Profile{
-		Read:     StageProfile{p.Read.Time - o.Read.Time, p.Read.Chunks - o.Read.Chunks},
-		Tokenize: StageProfile{p.Tokenize.Time - o.Tokenize.Time, p.Tokenize.Chunks - o.Tokenize.Chunks},
-		Parse:    StageProfile{p.Parse.Time - o.Parse.Time, p.Parse.Chunks - o.Parse.Chunks},
-		Write:    StageProfile{p.Write.Time - o.Write.Time, p.Write.Chunks - o.Write.Chunks},
-		Consume:  StageProfile{p.Consume.Time - o.Consume.Time, p.Consume.Chunks - o.Consume.Chunks},
+		Read:         StageProfile{p.Read.Time - o.Read.Time, p.Read.Chunks - o.Read.Chunks},
+		Tokenize:     StageProfile{p.Tokenize.Time - o.Tokenize.Time, p.Tokenize.Chunks - o.Tokenize.Chunks},
+		Parse:        StageProfile{p.Parse.Time - o.Parse.Time, p.Parse.Chunks - o.Parse.Chunks},
+		Write:        StageProfile{p.Write.Time - o.Write.Time, p.Write.Chunks - o.Write.Chunks},
+		Consume:      StageProfile{p.Consume.Time - o.Consume.Time, p.Consume.Chunks - o.Consume.Chunks},
+		ConsumeStall: StageProfile{p.ConsumeStall.Time - o.ConsumeStall.Time, p.ConsumeStall.Chunks - o.ConsumeStall.Chunks},
 	}
 }
 
 type profCounters struct {
-	readNs, tokNs, parseNs, writeNs, consumeNs                 atomic.Int64
+	readNs, tokNs, parseNs, writeNs, consumeNs, consumeStallNs atomic.Int64
 	readChunks, tokChunks, parseChunks, writeCh, consumeChunks atomic.Int64
+	consumeStallCh                                             atomic.Int64
 }
 
 func (pc *profCounters) snapshot() Profile {
 	return Profile{
-		Read:     StageProfile{time.Duration(pc.readNs.Load()), pc.readChunks.Load()},
-		Tokenize: StageProfile{time.Duration(pc.tokNs.Load()), pc.tokChunks.Load()},
-		Parse:    StageProfile{time.Duration(pc.parseNs.Load()), pc.parseChunks.Load()},
-		Write:    StageProfile{time.Duration(pc.writeNs.Load()), pc.writeCh.Load()},
-		Consume:  StageProfile{time.Duration(pc.consumeNs.Load()), pc.consumeChunks.Load()},
+		Read:         StageProfile{time.Duration(pc.readNs.Load()), pc.readChunks.Load()},
+		Tokenize:     StageProfile{time.Duration(pc.tokNs.Load()), pc.tokChunks.Load()},
+		Parse:        StageProfile{time.Duration(pc.parseNs.Load()), pc.parseChunks.Load()},
+		Write:        StageProfile{time.Duration(pc.writeNs.Load()), pc.writeCh.Load()},
+		Consume:      StageProfile{time.Duration(pc.consumeNs.Load()), pc.consumeChunks.Load()},
+		ConsumeStall: StageProfile{time.Duration(pc.consumeStallNs.Load()), pc.consumeStallCh.Load()},
 	}
 }
 
@@ -277,6 +284,13 @@ type RunStats struct {
 	// ReadBlocked is the time READ spent blocked on a full text buffer —
 	// the CPU-bound signal of §3.3.
 	ReadBlocked time.Duration
+	// TerminatedEarly reports that the run stopped before end-of-file
+	// because the request's Satisfied signal fired (demand-driven
+	// termination). ChunksSaved is how many known chunks were neither
+	// delivered nor statistics-skipped as a result; undiscovered chunks of
+	// an incompletely scanned file are not counted.
+	TerminatedEarly bool
+	ChunksSaved     int
 	// Profile is the per-stage time delta for this run.
 	Profile Profile
 }
@@ -471,8 +485,19 @@ type Request struct {
 	Deliver func(bc *BinaryChunk) error
 	// Skip, when non-nil, is consulted for chunks with known metadata;
 	// returning true skips the chunk entirely (min/max chunk elimination,
-	// §3.3). Skipped chunks are not delivered.
+	// §3.3). Skipped chunks are not delivered. Skip may be consulted more
+	// than once per chunk and must answer consistently enough for that —
+	// in particular a skip decision, like Satisfied, must not flip back.
 	Skip func(meta *dbstore.ChunkMeta) bool
+	// Satisfied, when non-nil, is polled at chunk boundaries; once it
+	// returns true the run stops issuing new chunks: READ exits, queued
+	// conversion work is dropped, and in-flight chunks drain (already
+	// converted chunks still enter the cache, so the safeguard flush keeps
+	// the zero-cost speculative-loading guarantee). The signal must be
+	// monotonic — true once means true forever — because stages poll it
+	// racily. Chunks may still be delivered after it fires; a satisfied
+	// consumer simply ignores them.
+	Satisfied func() bool
 	// ParallelConsume is the number of consume workers delivered chunks
 	// fan out to. 0 falls back to Config.ConsumeWorkers; values <= 1
 	// select the classic serial delivery path.

@@ -2,7 +2,6 @@ package scanraw
 
 import (
 	"context"
-	"sync"
 
 	"scanraw/internal/chunk"
 )
@@ -13,7 +12,7 @@ import (
 // overlap is possible. It still honours the write policy; under
 // Speculative the write of the oldest unloaded chunk happens after each
 // conversion, when the disk would otherwise idle until the next read.
-func (o *Operator) runSequential(ctx context.Context, req Request, del *deliverer, delivered map[int]bool) (*run, error) {
+func (o *Operator) runSequential(ctx context.Context, req Request, del *deliverer, delivered map[int]bool, gate *cacheGate) (*run, error) {
 	r := &run{
 		op:      o,
 		req:     req,
@@ -21,8 +20,8 @@ func (o *Operator) runSequential(ctx context.Context, req Request, del *delivere
 		upTo:    req.Columns[len(req.Columns)-1] + 1,
 		done:    make(chan struct{}),
 		seqSlot: &workerSlot{},
+		gate:    gate,
 	}
-	r.cacheCond = sync.NewCond(&r.cacheMu)
 	r.invisibleLeft.Store(int64(o.cfg.InvisibleChunksPerQuery))
 
 	sc := newRawScanner(o, o.table.RawFile())
@@ -32,6 +31,11 @@ func (o *Operator) runSequential(ctx context.Context, req Request, del *delivere
 		// Cancellation is chunk-granular in sequential mode too.
 		if err := ctx.Err(); err != nil {
 			return r, err
+		}
+		if r.demandSatisfied() {
+			// Provably complete: stop issuing chunks. No SetComplete — the
+			// file was not walked to the end.
+			return r, nil
 		}
 		meta, known := o.table.Chunk(id)
 		var tc *chunk.TextChunk
@@ -52,9 +56,7 @@ func (o *Operator) runSequential(ctx context.Context, req Request, del *delivere
 				if err != nil {
 					return r, err
 				}
-				o.cache.Put(bc, true)
-				r.del.deliver(bc, nil)
-				if err := r.del.failedErr(); err != nil {
+				if err := r.insertAndDeliver(bc, true); err != nil {
 					return r, err
 				}
 				r.deliveredDB.Add(1)
@@ -95,6 +97,41 @@ func (o *Operator) runSequential(ctx context.Context, req Request, del *delivere
 	return r, nil
 }
 
+// insertAndDeliver places a converted (or database-read) chunk into the
+// cache with a delivery pin and hands it to the consume stage; the pin is
+// released once the consume finishes, so a parallel-consume worker can never
+// race an eviction's vector recycling. Evicted chunks are retired through
+// the same policy path the pipeline uses.
+func (r *run) insertAndDeliver(bc *BinaryChunk, loaded bool) error {
+	o := r.op
+	evicted, evictedLoaded, ok := r.putPinnedWaitEv(bc, loaded)
+	if !ok {
+		if r.runErr != nil {
+			return r.runErr
+		}
+		return r.del.failedErr()
+	}
+	if err := r.retireEvicted(evicted, evictedLoaded); err != nil {
+		_ = o.cache.Unpin(bc.ID)
+		return err
+	}
+	id := bc.ID
+	r.del.deliver(bc, func() {
+		if err := o.cache.Unpin(id); err != nil {
+			r.del.setErr(err)
+		}
+		r.gate.broadcast()
+	})
+	if err := r.del.failedErr(); err != nil {
+		return err
+	}
+	// The delivery completed: the natural point to notice the demand is now
+	// satisfied (with fan-out consume this may lag a few chunks, which the
+	// loop's next poll absorbs).
+	r.demandSatisfied()
+	return nil
+}
+
 // convertAndDeliver runs the conversion stages inline for one chunk.
 func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
 	o := r.op
@@ -130,23 +167,23 @@ func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
 			loaded = true
 		}
 	}
-	evicted, evictedLoaded, _ := o.cache.Put(bc, loaded)
-	if o.cfg.Policy == BufferedLoad && evicted != nil && !evictedLoaded {
-		if err := r.runWrite(evicted); err != nil {
-			return err
-		}
-	}
-	r.del.deliver(bc, nil)
-	if err := r.del.failedErr(); err != nil {
+	if err := r.insertAndDeliver(bc, loaded); err != nil {
 		return err
 	}
 	r.deliveredRaw.Add(1)
 	// Speculative loading without overlap: the disk idles while the next
-	// chunk is converted, so load the oldest unloaded cached chunk now.
+	// chunk is converted, so load the oldest unloaded cached chunk now. The
+	// pin shields the chunk from a concurrent eviction (a fan-out consume of
+	// an earlier chunk may release pins mid-write).
 	if o.cfg.Policy == Speculative {
-		if old := o.cache.OldestUnloaded(); old != nil {
-			if err := r.runWrite(old); err != nil {
-				return err
+		if old := o.cache.AcquireOldestUnloaded(); old != nil {
+			werr := r.runWrite(old)
+			if uerr := o.cache.Unpin(old.ID); werr == nil {
+				werr = uerr
+			}
+			r.gate.broadcast()
+			if werr != nil {
+				return werr
 			}
 		}
 	}

@@ -73,6 +73,11 @@ func (o *Operator) RunSharedContext(ctx context.Context, reqs []Request) (RunSta
 		Deliver: func(bc *BinaryChunk) error {
 			meta, haveMeta := o.table.Chunk(bc.ID)
 			for i := range reqs {
+				if reqs[i].Satisfied != nil && reqs[i].Satisfied() {
+					// This member's result is already final; the chunk is
+					// still scanned for the members that need it.
+					continue
+				}
 				if reqs[i].Skip != nil && haveMeta && reqs[i].Skip(meta) {
 					skipped[i].Add(1)
 					continue
@@ -93,6 +98,12 @@ func (o *Operator) RunSharedContext(ctx context.Context, reqs []Request) (RunSta
 			return nil
 		},
 	}
+	// The shared scan terminates early only when EVERY member is provably
+	// satisfied; a single member without a termination signal keeps the scan
+	// running to end-of-file (its combined Satisfied stays nil).
+	if s := combinedSatisfied(reqs); s != nil {
+		combined.Satisfied = s
+	}
 	st, err := o.RunContext(ctx, combined)
 	per := make([]SharedStats, len(reqs))
 	for i := range per {
@@ -108,6 +119,26 @@ func (o *Operator) RunSharedContext(ctx context.Context, reqs []Request) (RunSta
 type SharedStats struct {
 	DeliveredChunks int
 	SkippedChunks   int
+}
+
+// combinedSatisfied builds the shared scan's termination signal: the AND of
+// every member's Satisfied. It returns nil — no early termination — unless
+// every member carries a signal, because a member scanning to end-of-file
+// needs every remaining chunk regardless of the others.
+func combinedSatisfied(reqs []Request) func() bool {
+	for _, req := range reqs {
+		if req.Satisfied == nil {
+			return nil
+		}
+	}
+	return func() bool {
+		for _, req := range reqs {
+			if !req.Satisfied() {
+				return false
+			}
+		}
+		return true
+	}
 }
 
 // unionColumns returns the sorted union of every request's column set.
@@ -148,12 +179,11 @@ func ExecuteQueriesContext(ctx context.Context, op *Operator, qs []*engine.Query
 			return nil, RunStats{}, fmt.Errorf("query %d: %w", i, err)
 		}
 		executors[i] = ex
-		reqs[i] = Request{
+		reqs[i] = demandRequest(ctx, q, ex, Request{
 			Columns:         q.RequiredColumns(),
-			Deliver:         func(bc *BinaryChunk) error { return ex.ConsumeContext(ctx, bc) },
 			Skip:            SkipFromPredicate(q.Where),
 			ParallelConsume: n,
-		}
+		})
 	}
 	st, _, err := op.RunSharedContext(ctx, reqs)
 	if err != nil {

@@ -30,8 +30,9 @@ type pending struct {
 	// for (1 = classic serial delivery).
 	consumeWorkers int
 	// stream, when non-nil, consumes rows incrementally; the scan's skip
-	// decisions feed its reorder frontier.
-	stream *ndjsonStreamer
+	// decisions feed its reorder frontier and its satisfaction signal feeds
+	// demand-driven termination.
+	stream rowStreamer
 
 	// cancelled flips once the query's context dies mid-scan; the delivery
 	// path stops feeding its executor from then on.
@@ -85,8 +86,19 @@ type batcher struct {
 }
 
 // submit enqueues a query and arranges for its batch to be dispatched.
+//
+// Demand-aware admission: a query with no termination profile joining a
+// window whose members all carry one would force the shared scan to
+// end-of-file — un-terminating a batch that could stop early (and, had the
+// batch already been draining, resurrecting chunk deliveries its members
+// no longer want). Such a newcomer dispatches alone instead of coalescing.
 func (b *batcher) submit(p *pending) {
 	b.mu.Lock()
+	if len(b.queue) > 0 && !scanraw.HasTerminationProfile(p.q) && allTerminating(b.queue) {
+		b.mu.Unlock()
+		go b.execute([]*pending{p})
+		return
+	}
 	b.queue = append(b.queue, p)
 	if len(b.queue) >= b.maxBatch {
 		batch := b.queue
@@ -117,6 +129,24 @@ func (b *batcher) submit(p *pending) {
 			b.execute(batch)
 		}
 	}()
+}
+
+// allTerminating reports whether every queued query carries a whole-scan
+// termination signal (streamed LIMIT without ORDER BY).
+func allTerminating(queue []*pending) bool {
+	for _, p := range queue {
+		if !scanraw.HasTerminationProfile(p.q) {
+			return false
+		}
+	}
+	return true
+}
+
+// countedConsumer is the optional executor refinement reporting per-chunk
+// matched-row counts — the engine executors and both streamers implement
+// it; demand-driven termination needs the counts for its LIMIT frontier.
+type countedConsumer interface {
+	ConsumeCounted(bc *scanraw.BinaryChunk) (int, error)
 }
 
 // execute runs one batch through the shared-scan path and deposits each
@@ -158,28 +188,60 @@ func (b *batcher) execute(batch []*pending) {
 			// Streaming members watch their skip decisions so the reorder
 			// frontier can advance past eliminated chunks.
 			orig := skip
+			stream := p.stream
 			skip = func(meta *dbstore.ChunkMeta) bool {
 				if orig != nil && orig(meta) {
-					p.stream.markSkipped(meta.ID)
+					stream.markSkipped(meta.ID)
 					return true
 				}
 				return false
 			}
 		}
+		// Demand-driven termination wiring. The executor's matched-row
+		// counts (when it reports them) advance the member's LIMIT frontier,
+		// its top-k bound (when it has one) prunes chunks, and the member's
+		// Satisfied folds its own completeness with liveness: a dead member
+		// wants no more chunks either, so a shared scan whose every member
+		// is satisfied or gone stops before end-of-file.
+		var boundSrc interface {
+			Bound() ([]engine.Value, bool)
+		}
+		if bs, ok := p.ex.(interface {
+			Bound() ([]engine.Value, bool)
+		}); ok {
+			boundSrc = bs
+		}
+		dem := scanraw.NewDemand(p.q, boundSrc)
+		memberDone := func() bool {
+			if p.cancelled.Load() || p.ctx.Err() != nil || p.consumeError() != nil {
+				return true
+			}
+			if p.stream != nil && p.stream.satisfied() {
+				return true
+			}
+			return dem.IsSatisfied()
+		}
 		reqs[i] = scanraw.Request{
 			Columns:         cols,
-			Skip:            skip,
+			Skip:            dem.WrapSkip(skip),
 			ParallelConsume: p.consumeWorkers,
+			Satisfied:       memberDone,
 			// Deliver feeds this member's executor but never fails the
 			// whole batch: a dead member is skipped, a member whose own
 			// evaluation errors keeps the error for itself. With parallel
 			// consume this closure runs on several goroutines at once (the
 			// executor behind it is concurrency-safe then).
 			Deliver: func(bc *scanraw.BinaryChunk) error {
-				if p.consumeError() != nil || p.cancelled.Load() {
+				if memberDone() {
 					return nil
 				}
-				if err := p.ctx.Err(); err != nil {
+				if cc, ok := p.ex.(countedConsumer); ok {
+					matched, err := cc.ConsumeCounted(bc)
+					if err != nil {
+						p.setConsumeErr(err)
+						return nil
+					}
+					dem.RecordChunk(bc.ID, matched)
 					return nil
 				}
 				p.setConsumeErr(p.ex.Consume(bc))

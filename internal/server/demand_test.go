@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"scanraw/internal/scanraw"
+)
+
+// TestOrderedStreaming: ORDER BY queries stream over NDJSON through the
+// merge-on-emit path; the streamed rows must match the materialized result
+// exactly, including order and LIMIT.
+func TestOrderedStreaming(t *testing.T) {
+	env := newServerEnv(t, 1024, nil, Config{},
+		scanraw.Config{Workers: 2, CacheChunks: 8, ConsumeWorkers: 4})
+	queries := []string{
+		"SELECT c0, c1 FROM data ORDER BY c0 DESC, c1 LIMIT 25",
+		"SELECT c0, c1 FROM data WHERE c2 < 300 ORDER BY c0",
+		"SELECT c0, SUM(c1) AS s FROM data GROUP BY c0 ORDER BY s DESC LIMIT 5",
+	}
+	for _, sql := range queries {
+		_, out := postQuery(t, env, fmt.Sprintf(`{"sql": %q}`, sql))
+		want, _ := json.Marshal(out["rows"])
+
+		resp, err := http.Post(env.ts.URL+"/query?stream=ndjson", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"sql": %q}`, sql)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, objs := readNDJSON(t, resp.Body)
+		resp.Body.Close()
+		if len(objs) != 2 {
+			t.Fatalf("%s: want header + trailer, got %d objects: %v", sql, len(objs), objs)
+		}
+		if _, ok := objs[0]["columns"]; !ok {
+			t.Errorf("%s: first line is not a columns header: %v", sql, objs[0])
+		}
+		if _, ok := objs[1]["stats"]; !ok {
+			t.Errorf("%s: last line is not a stats trailer: %v", sql, objs[1])
+		}
+		got, _ := json.Marshal(rows)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: streamed rows differ from materialized\nstreamed:     %.300s\nmaterialized: %.300s",
+				sql, got, want)
+		}
+		if len(rows) == 0 {
+			t.Errorf("%s: streamed no rows", sql)
+		}
+	}
+}
+
+// TestTerminationMetrics: a LIMIT query served over many chunks terminates
+// its scan early, and the /metrics counters record it.
+func TestTerminationMetrics(t *testing.T) {
+	env := newServerEnv(t, 2048, nil, Config{},
+		scanraw.Config{Workers: 2, CacheChunks: 8}) // 32 chunks of 64 lines
+	status, out := postQuery(t, env, `{"sql": "SELECT c0, c1 FROM data LIMIT 5"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %v", status, out)
+	}
+	if got := len(out["rows"].([]any)); got != 5 {
+		t.Fatalf("rows = %d, want 5", got)
+	}
+	stats := out["stats"].(map[string]any)
+	if te, _ := stats["terminated_early"].(bool); !te {
+		t.Errorf("stats.terminated_early = %v, want true (%v)", stats["terminated_early"], stats)
+	}
+	if cs, _ := stats["chunks_saved"].(float64); cs < 1 {
+		t.Errorf("stats.chunks_saved = %v, want >= 1", stats["chunks_saved"])
+	}
+
+	snap := env.srv.MetricsSnapshot()
+	if snap.ScansTerminatedEarly < 1 {
+		t.Errorf("scans_terminated_early = %d, want >= 1", snap.ScansTerminatedEarly)
+	}
+	if snap.ChunksSavedByTermination < 1 {
+		t.Errorf("chunks_saved_by_termination = %d, want >= 1", snap.ChunksSavedByTermination)
+	}
+	resp, err := http.Get(env.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"scans_terminated_early", "chunks_saved_by_termination"} {
+		if v, ok := m[key].(float64); !ok || v < 1 {
+			t.Errorf("/metrics %s = %v, want >= 1", key, m[key])
+		}
+	}
+}
+
+// TestCoalescerDemandAdmission is the regression test for the coalescing
+// window guard: an unbounded query must not join a window whose members all
+// carry termination signals (it would force their shared scan to
+// end-of-file), so it dispatches alone — while bounded queries still
+// coalesce with each other.
+func TestCoalescerDemandAdmission(t *testing.T) {
+	env := newServerEnv(t, 1024, nil,
+		Config{MaxConcurrent: 8, CoalesceWindow: 400 * time.Millisecond},
+		scanraw.Config{Workers: 2, CacheChunks: 8})
+
+	// A bounded query opens a coalescing window and sits in it.
+	type result struct {
+		batch int
+		err   error
+	}
+	limitDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(env.ts.URL+"/query", "application/json",
+			strings.NewReader(`{"sql": "SELECT c0 FROM data LIMIT 5"}`))
+		if err != nil {
+			limitDone <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			limitDone <- result{err: err}
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			limitDone <- result{err: fmt.Errorf("status %d: %v", resp.StatusCode, out)}
+			return
+		}
+		limitDone <- result{batch: int(out["stats"].(map[string]any)["batch_size"].(float64))}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the window open
+
+	// The unbounded aggregate arrives mid-window: it must execute alone
+	// instead of joining (and un-terminating) the bounded batch.
+	start := time.Now()
+	status, out := postQuery(t, env, fmt.Sprintf(`{"sql": %q}`, sumSQL))
+	elapsed := time.Since(start)
+	if status != http.StatusOK {
+		t.Fatalf("aggregate status = %d: %v", status, out)
+	}
+	if got := firstValue(t, out); got != env.want {
+		t.Errorf("aggregate sum = %d, want %d", got, env.want)
+	}
+	if bs := int(out["stats"].(map[string]any)["batch_size"].(float64)); bs != 1 {
+		t.Errorf("aggregate batch_size = %d, want 1 (must not join the bounded window)", bs)
+	}
+	if elapsed >= 300*time.Millisecond {
+		t.Errorf("aggregate waited %v, should have dispatched without the window", elapsed)
+	}
+
+	r := <-limitDone
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.batch != 1 {
+		t.Errorf("bounded query batch_size = %d, want 1", r.batch)
+	}
+	snap := env.srv.MetricsSnapshot()
+	if snap.PhysicalScans != 2 {
+		t.Errorf("physical_scans = %d, want 2 (no coalescing across the demand boundary)", snap.PhysicalScans)
+	}
+
+	// Control: two bounded queries in one window still share a scan, and the
+	// all-bounded shared scan terminates early.
+	results := make(chan result, 2)
+	for _, sql := range []string{"SELECT c0 FROM data LIMIT 5", "SELECT c1 FROM data LIMIT 7"} {
+		go func(sql string) {
+			resp, err := http.Post(env.ts.URL+"/query", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"sql": %q}`, sql)))
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var out map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				results <- result{err: err}
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				results <- result{err: fmt.Errorf("status %d: %v", resp.StatusCode, out)}
+				return
+			}
+			results <- result{batch: int(out["stats"].(map[string]any)["batch_size"].(float64))}
+		}(sql)
+	}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.batch != 2 {
+			t.Errorf("bounded pair batch_size = %d, want 2 (bounded queries still coalesce)", r.batch)
+		}
+	}
+}

@@ -19,6 +19,9 @@ type counters struct {
 	scans     atomic.Int64 // physical scans dispatched (batches)
 	coalesced atomic.Int64 // queries that shared their scan with others
 
+	terminatedEarly atomic.Int64 // scans stopped before end-of-file by demand
+	chunksSaved     atomic.Int64 // chunks those scans never read or converted
+
 	deliveredCache atomic.Int64
 	deliveredDB    atomic.Int64
 	deliveredRaw   atomic.Int64
@@ -45,6 +48,10 @@ func (s *Server) recordScan(st scanraw.RunStats, batchSize int) {
 	s.met.deliveredRaw.Add(int64(st.DeliveredRaw))
 	s.met.skipped.Add(int64(st.SkippedChunks))
 	s.met.chunksLoaded.Add(int64(st.WrittenDuringRun))
+	if st.TerminatedEarly {
+		s.met.terminatedEarly.Add(1)
+		s.met.chunksSaved.Add(int64(st.ChunksSaved))
+	}
 }
 
 // ChunkCounts breaks chunk deliveries down by source.
@@ -69,6 +76,12 @@ type MetricsSnapshot struct {
 	CoalescedQueries int64 `json:"coalesced_queries_total"`
 	ActiveQueries    int   `json:"active_queries"`
 	AdmissionSlots   int   `json:"admission_slots"`
+
+	// Demand-driven termination: scans that stopped before end-of-file
+	// because every query they served was provably complete, and the chunks
+	// those scans never had to read or convert.
+	ScansTerminatedEarly     int64 `json:"scans_terminated_early"`
+	ChunksSavedByTermination int64 `json:"chunks_saved_by_termination"`
 
 	// WorkerBusyPercent is in percent-of-one-core units (8 busy workers
 	// report 800), matching the paper's Fig. 9 CPU axis; the disk percents
@@ -106,6 +119,9 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		CoalescedQueries: s.met.coalesced.Load(),
 		ActiveQueries:    len(s.slots),
 		AdmissionSlots:   s.cfg.MaxConcurrent,
+
+		ScansTerminatedEarly:     s.met.terminatedEarly.Load(),
+		ChunksSavedByTermination: s.met.chunksSaved.Load(),
 
 		WorkerBusyPercent: sample.CPUPercent,
 		DiskBusyPercent:   sample.IOPercent,

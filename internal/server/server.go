@@ -197,6 +197,11 @@ type queryStats struct {
 	ChunksSkipped   int     `json:"chunks_skipped"`
 	ChunksLoaded    int     `json:"chunks_loaded"` // loaded into the database during the scan
 	Policy          string  `json:"policy"`
+	// TerminatedEarly reports the physical scan stopped before end-of-file
+	// because every query it served was provably complete; ChunksSaved is
+	// how many chunks that saved reading or converting.
+	TerminatedEarly bool `json:"terminated_early"`
+	ChunksSaved     int  `json:"chunks_saved"`
 }
 
 // queryResponse is the non-streaming POST /query reply.
@@ -262,9 +267,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Executor selection. The operator's ConsumeWorkers setting decides the
-	// consume parallelism; streamable queries (non-aggregate, no ORDER BY)
-	// asked for as NDJSON get the incremental streamer, everything else
-	// materializes through the serial or parallel engine executor.
+	// consume parallelism; non-aggregate queries asked for as NDJSON get a
+	// streamer — incremental chunk-order emission when there is no ORDER BY,
+	// merge-on-emit (sorted runs through a loser tree) when there is —
+	// everything else materializes through the serial or parallel engine
+	// executor.
 	workers := entry.cfg.ConsumeWorkers
 	if workers < 1 {
 		workers = 1
@@ -272,11 +279,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	wantStream := r.URL.Query().Get("stream") == "ndjson"
 	var (
 		ex       executor
-		streamer *ndjsonStreamer
+		streamer rowStreamer
 	)
 	switch {
 	case wantStream && !q.IsAggregate() && len(q.OrderBy) == 0:
 		streamer, err = newNDJSONStreamer(q, entry.table.Schema(), workers)
+		ex = streamer
+	case wantStream && !q.IsAggregate():
+		streamer, err = newOrderedStreamer(q, entry.table.Schema(), workers)
 		ex = streamer
 	case workers > 1:
 		ex, err = engine.NewParallelExecutor(q, entry.table.Schema(), workers)
@@ -365,6 +375,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ChunksSkipped:   pr.shared.SkippedChunks,
 		ChunksLoaded:    pr.scan.WrittenDuringRun,
 		Policy:          entry.cfg.Policy.String(),
+		TerminatedEarly: pr.scan.TerminatedEarly,
+		ChunksSaved:     pr.scan.ChunksSaved,
 	}
 	if streamer != nil {
 		// Rows already streamed chunk-by-chunk; close with the stats trailer.
@@ -372,8 +384,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wantStream {
-		// Aggregate / ORDER BY results cannot stream incrementally (they
-		// only exist after the merge); stream the materialized rows.
+		// Aggregate results cannot stream incrementally (they only exist
+		// after the final fold); stream the materialized rows.
 		s.writeNDJSON(w, pr.res, st)
 		return
 	}

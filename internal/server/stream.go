@@ -12,6 +12,72 @@ import (
 	"scanraw/internal/schema"
 )
 
+// rowStreamer is the surface the serving path drives for NDJSON streaming
+// queries: the executor contract plus the stream lifecycle and the signals
+// the coalescer consults (skip decisions for the reorder frontier,
+// satisfaction for demand-driven termination).
+type rowStreamer interface {
+	executor
+	start(w http.ResponseWriter)
+	finishOK(stats queryStats)
+	fail(err error)
+	markSkipped(id int)
+	satisfied() bool
+}
+
+// streamBase is the encoder state shared by the NDJSON streamers: it owns
+// the response writer and serializes row emission.
+type streamBase struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	flusher http.Flusher
+	emitted int
+	closed  bool
+}
+
+// bind attaches the response writer and emits the columns header. Must
+// happen before the scan can push rows.
+func (sb *streamBase) bind(w http.ResponseWriter, cols []string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	sb.enc = json.NewEncoder(w)
+	sb.flusher, _ = w.(http.Flusher)
+	_ = sb.enc.Encode(map[string]any{"columns": cols})
+}
+
+func (sb *streamBase) emitRowLocked(row []engine.Value) {
+	if sb.closed || sb.enc == nil {
+		return
+	}
+	_ = sb.enc.Encode(jsonRow(row))
+	sb.emitted++
+	// Flush periodically so large results stream instead of buffering.
+	if sb.flusher != nil && sb.emitted%1024 == 0 {
+		sb.flusher.Flush()
+	}
+}
+
+// finishOK writes the stats trailer.
+func (sb *streamBase) finishOK(stats queryStats) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.closed = true
+	if sb.enc != nil {
+		_ = sb.enc.Encode(map[string]any{"stats": stats})
+	}
+}
+
+// fail terminates the stream with an error line. The HTTP status is long
+// gone — in-band errors are the streaming contract.
+func (sb *streamBase) fail(err error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.closed = true
+	if sb.enc != nil {
+		_ = sb.enc.Encode(map[string]any{"error": err.Error()})
+	}
+}
+
 // ndjsonStreamer consumes chunks for a non-aggregate, ORDER-BY-free query
 // and writes qualifying rows to the client as they are produced, instead of
 // materializing the result. Because chunks arrive in whatever order the
@@ -25,17 +91,13 @@ import (
 // skip decisions are fed in via markSkipped to advance the frontier past
 // them.
 type ndjsonStreamer struct {
+	streamBase
 	q    *engine.Query
 	pool chan *engine.Partial // per-worker evaluation scratch (ChunkRows)
 
-	mu      sync.Mutex
-	enc     *json.Encoder
-	flusher http.Flusher
 	next    int // frontier: lowest chunk ID not yet emitted
 	ready   map[int][][]engine.Value
 	skipped map[int]bool
-	emitted int
-	closed  bool
 }
 
 // newNDJSONStreamer validates the query (it must be streamable: no
@@ -66,13 +128,7 @@ func newNDJSONStreamer(q *engine.Query, sch *schema.Schema, workers int) (*ndjso
 
 // start binds the response writer and emits the columns header. Must be
 // called before the scan is submitted.
-func (st *ndjsonStreamer) start(w http.ResponseWriter) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	st.enc = json.NewEncoder(w)
-	st.flusher, _ = w.(http.Flusher)
-	_ = st.enc.Encode(map[string]any{"columns": st.columns()})
-}
+func (st *ndjsonStreamer) start(w http.ResponseWriter) { st.bind(w, st.columns()) }
 
 func (st *ndjsonStreamer) columns() []string {
 	cols := make([]string, len(st.q.Items))
@@ -86,17 +142,24 @@ func (st *ndjsonStreamer) columns() []string {
 // concurrent calls (parallel consume): evaluation runs on a pooled partial
 // outside the lock; buffering and emission serialize on it.
 func (st *ndjsonStreamer) Consume(bc *scanraw.BinaryChunk) error {
+	_, err := st.ConsumeCounted(bc)
+	return err
+}
+
+// ConsumeCounted is Consume reporting how many rows qualified — the signal
+// demand-driven termination folds into its LIMIT frontier.
+func (st *ndjsonStreamer) ConsumeCounted(bc *scanraw.BinaryChunk) (int, error) {
 	p := <-st.pool
 	rows, err := p.ChunkRows(bc)
 	st.pool <- p
 	if err != nil {
-		return err
+		return 0, err
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.ready[bc.ID] = rows
 	st.drainLocked()
-	return nil
+	return len(rows), nil
 }
 
 // markSkipped records a chunk the scan eliminated so the frontier can pass
@@ -110,6 +173,14 @@ func (st *ndjsonStreamer) markSkipped(id int) {
 	}
 	st.skipped[id] = true
 	st.drainLocked()
+}
+
+// satisfied reports whether the stream's LIMIT is already met: every
+// further chunk is surplus and the scan serving this query may stop.
+func (st *ndjsonStreamer) satisfied() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.q.Limit > 0 && st.emitted >= st.q.Limit
 }
 
 // drainLocked advances the frontier, emitting every buffered chunk that
@@ -132,19 +203,11 @@ func (st *ndjsonStreamer) drainLocked() {
 }
 
 func (st *ndjsonStreamer) emitLocked(rows [][]engine.Value) {
-	if st.closed || st.enc == nil {
-		return
-	}
 	for _, row := range rows {
 		if st.q.Limit > 0 && st.emitted >= st.q.Limit {
 			return
 		}
-		_ = st.enc.Encode(jsonRow(row))
-		st.emitted++
-		// Flush periodically so large results stream instead of buffering.
-		if st.flusher != nil && st.emitted%1024 == 0 {
-			st.flusher.Flush()
-		}
+		st.emitRowLocked(row)
 	}
 }
 
@@ -166,23 +229,83 @@ func (st *ndjsonStreamer) Result() (*engine.Result, error) {
 	return &engine.Result{Cols: st.columns()}, nil
 }
 
-// finishOK writes the stats trailer.
-func (st *ndjsonStreamer) finishOK(stats queryStats) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.closed = true
-	if st.enc != nil {
-		_ = st.enc.Encode(map[string]any{"stats": stats})
-	}
+// orderedStreamer serves ORDER BY (optionally LIMIT) queries as NDJSON
+// without the full-materialization stall: chunks fold into a parallel
+// executor's partials during the scan, and at end-of-scan the per-partial
+// runs are sorted once and merged on emit through a loser tree
+// (engine.RunMerger) — rows reach the client as the merge produces them
+// instead of after a monolithic sort of the whole result. The executor's
+// live top-k bound additionally gives ORDER BY ... LIMIT scans a chunk
+// pruning rule (Bound, consumed by scanraw's demand layer).
+type orderedStreamer struct {
+	streamBase
+	q  *engine.Query
+	pe *engine.ParallelExecutor
 }
 
-// fail terminates the stream with an error line. The HTTP status is long
-// gone — in-band errors are the streaming contract.
-func (st *ndjsonStreamer) fail(err error) {
+// newOrderedStreamer validates the query (non-aggregate, with ORDER BY) and
+// builds the merge-on-emit streamer over a parallel executor.
+func newOrderedStreamer(q *engine.Query, sch *schema.Schema, workers int) (*orderedStreamer, error) {
+	if q.IsAggregate() || len(q.OrderBy) == 0 {
+		return nil, fmt.Errorf("server: query is not order-streamable")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pe, err := engine.NewParallelExecutor(q, sch, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &orderedStreamer{q: q, pe: pe}, nil
+}
+
+func (st *orderedStreamer) start(w http.ResponseWriter) { st.bind(w, st.columns()) }
+
+func (st *orderedStreamer) columns() []string {
+	cols := make([]string, len(st.q.Items))
+	for i, it := range st.q.Items {
+		cols[i] = it.Name()
+	}
+	return cols
+}
+
+func (st *orderedStreamer) Consume(bc *scanraw.BinaryChunk) error { return st.pe.Consume(bc) }
+
+func (st *orderedStreamer) ConsumeCounted(bc *scanraw.BinaryChunk) (int, error) {
+	return st.pe.ConsumeCounted(bc)
+}
+
+// Bound exposes the executor's top-k cutoff for chunk pruning.
+func (st *orderedStreamer) Bound() ([]engine.Value, bool) { return st.pe.Bound() }
+
+// markSkipped is a no-op: the merge orders rows itself, no reorder frontier.
+func (st *orderedStreamer) markSkipped(int) {}
+
+// satisfied is always false: an ORDER BY query's result is final only at
+// end-of-scan (bound pruning, not whole-scan termination, is its demand
+// lever).
+func (st *orderedStreamer) satisfied() bool { return false }
+
+// Result runs the merge-on-emit phase: sort each partial's retained rows,
+// stream the k-way merge to the client, and return the bare column header
+// (rows are already on the wire).
+func (st *orderedStreamer) Result() (*engine.Result, error) {
+	parts, err := st.pe.Finish()
+	if err != nil {
+		return nil, err
+	}
+	m, err := engine.NewRunMerger(st.q, parts)
+	if err != nil {
+		return nil, err
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.closed = true
-	if st.enc != nil {
-		_ = st.enc.Encode(map[string]any{"error": err.Error()})
+	for {
+		row, ok := m.Next()
+		if !ok {
+			break
+		}
+		st.emitRowLocked(row)
 	}
+	return &engine.Result{Cols: st.columns()}, nil
 }

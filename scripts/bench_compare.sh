@@ -1,0 +1,50 @@
+#!/bin/sh
+# Compares the two most recent BENCH_*.json files (by name, which sorts by
+# PR number) and fails when a named hot-path benchmark regressed by more
+# than 20% in ns/op. Benchmarks present in only one file are skipped —
+# each PR may add new ones.
+set -e
+THRESHOLD=${THRESHOLD:-1.20}
+HOT='BenchmarkConsumeSerial|BenchmarkConsumeParallel8|BenchmarkLimitFullScan|BenchmarkLimitEarlyTerm|BenchmarkTokenizeChunk64|BenchmarkParseChunk64|BenchmarkScalarSum|BenchmarkGroupBy'
+
+files=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2)
+if [ "$(echo "$files" | grep -c .)" -lt 2 ]; then
+    echo "bench_compare: fewer than two BENCH_*.json files; nothing to compare"
+    exit 0
+fi
+old=$(echo "$files" | head -1)
+new=$(echo "$files" | tail -1)
+echo "comparing $old -> $new (fail above ${THRESHOLD}x on hot-path benchmarks)"
+
+awk -v hot="$HOT" -v threshold="$THRESHOLD" -v oldfile="$old" -v newfile="$new" '
+function parse(file, table,    line, name, ns) {
+    while ((getline line < file) > 0) {
+        if (line !~ /"name"/) continue
+        match(line, /"name": *"[^"]+"/)
+        name = substr(line, RSTART, RLENGTH)
+        gsub(/"name": *"?/, "", name); gsub(/"/, "", name)
+        sub(/-[0-9]+$/, "", name) # GOMAXPROCS suffix varies by machine
+        match(line, /"ns_per_op": *[0-9.eE+]+/)
+        ns = substr(line, RSTART, RLENGTH)
+        gsub(/"ns_per_op": */, "", ns)
+        table[name] = ns + 0
+    }
+    close(file)
+}
+BEGIN {
+    parse(oldfile, before)
+    parse(newfile, after)
+    fail = 0; n = 0
+    for (name in after) {
+        if (name !~ ("^(" hot ")")) continue
+        if (!(name in before) || before[name] <= 0) continue
+        n++
+        ratio = after[name] / before[name]
+        verdict = "ok"
+        if (ratio > threshold) { verdict = "REGRESSION"; fail = 1 }
+        printf "%-44s %12.0f -> %12.0f ns/op  (%.2fx) %s\n", \
+            name, before[name], after[name], ratio, verdict
+    }
+    if (n == 0) print "no hot-path benchmarks in common; nothing compared"
+    exit fail
+}'
