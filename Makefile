@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-compare
+.PHONY: check fmt vet build test race lint invariants bench bench-compare
 
-check: fmt vet build test race
+check: fmt vet build test race lint invariants
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -27,6 +27,20 @@ test:
 # engine (parallel partial executors + differential test).
 race:
 	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/...
+
+# Project-specific static analysis (pin balance, pool pairing, goroutine
+# exits, context threading, channel ops under locks). Stdlib-only; see
+# cmd/scanrawlint and DESIGN.md §9.
+lint:
+	$(GO) run ./cmd/scanrawlint ./...
+
+# Runtime invariant layer: pin-count underflow and double-recycle panics
+# plus the pool gauges only exist under -tags invariants. The race-gated
+# packages rerun under the tag with the race detector; the resource-owning
+# packages rerun without it.
+invariants:
+	$(GO) test -tags invariants ./internal/cache/... ./internal/chunk/... ./internal/tok/... ./internal/parse/...
+	$(GO) test -race -tags invariants ./internal/scanraw/... ./internal/server/... ./internal/engine/...
 
 # bench runs the benchmark suite across the hot packages and records the
 # raw output in BENCH_pr3.json (see README). bench-compare diffs the two

@@ -1,0 +1,80 @@
+// Command scanrawlint runs scanraw's project-specific static analyzers —
+// the concurrency and resource-lifecycle invariants go vet and the race
+// detector cannot check:
+//
+//	pinbalance  cache pins matched by Unpin on all paths
+//	poolpair    pooled vectors/positional maps reach a recycle call
+//	goexit      go func literals can observe shutdown or are finite
+//	ctxflow     exported ctx-taking functions thread their context
+//	locksend    no channel ops while holding a mutex
+//
+// Usage:
+//
+//	scanrawlint [-tests] [-only name,name] [packages]
+//
+// Packages default to ./... relative to the current directory. Findings
+// print as file:line:col: [analyzer] message; the exit status is 1 when
+// any finding survives. Suppress a false positive inline, with a reason:
+//
+//	//lint:ignore pinbalance pin is transferred to the write queue
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scanraw/internal/lint"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "lint _test.go files too")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "scanrawlint: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scanrawlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(lint.Config{Root: root, IncludeTests: *tests}, flag.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scanrawlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "scanrawlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

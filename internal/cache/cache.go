@@ -101,10 +101,13 @@ func (c *Cache) put(bc *chunk.BinaryChunk, loaded bool, pins int) (evicted *chun
 		merged := e.bc.Clone()
 		if err := merged.Merge(bc); err == nil {
 			e.bc = merged
-			e.lastUse = c.tick()
 			e.loaded = e.loaded && loaded
-			e.pins += pins
 		}
+		// The pin is granted even when the merge fails: ok=true tells a
+		// PutPinned caller it holds a pin it will later Unpin, so skipping
+		// the increment here would underflow the entry's pin count.
+		e.lastUse = c.tick()
+		e.pins += pins
 		return nil, false, true
 	}
 	if c.cap == 0 {
@@ -212,13 +215,40 @@ func (c *Cache) Unpin(id int) error {
 	defer c.mu.Unlock()
 	e, ok := c.entries[id]
 	if !ok {
+		invariantViolation("cache: unpin of absent chunk %d", id)
 		return fmt.Errorf("cache: unpin of absent chunk %d", id)
 	}
 	if e.pins == 0 {
+		invariantViolation("cache: unpin of unpinned chunk %d", id)
 		return fmt.Errorf("cache: unpin of unpinned chunk %d", id)
 	}
 	e.pins--
 	return nil
+}
+
+// Stats is a point-in-time snapshot of cache occupancy and pin accounting.
+// A pin count that climbs without bound across queries is the signature of
+// a leaked pin: some consumer acquired a chunk and never released it, and
+// the affected entries can never be evicted again.
+type Stats struct {
+	Entries       int // cached chunks
+	Capacity      int // maximum chunks
+	PinnedEntries int // chunks with at least one pin
+	PinCount      int // total outstanding pins
+}
+
+// Stats returns current occupancy and pin accounting.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{Entries: len(c.entries), Capacity: c.cap}
+	for _, e := range c.entries {
+		if e.pins > 0 {
+			s.PinnedEntries++
+			s.PinCount += e.pins
+		}
+	}
+	return s
 }
 
 // MarkLoaded records that the chunk's cached columns now exist in the

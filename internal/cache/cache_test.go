@@ -101,20 +101,6 @@ func TestPinnedNeverEvicted(t *testing.T) {
 	}
 }
 
-func TestPinErrors(t *testing.T) {
-	c := New(2)
-	if c.Pin(7) {
-		t.Error("pinning absent chunk should fail")
-	}
-	if err := c.Unpin(7); err == nil {
-		t.Error("unpinning absent chunk should error")
-	}
-	c.Put(mk(1), false)
-	if err := c.Unpin(1); err == nil {
-		t.Error("unpinning unpinned chunk should error")
-	}
-}
-
 func TestZeroCapacity(t *testing.T) {
 	c := New(0)
 	if _, _, ok := c.Put(mk(1), false); ok {

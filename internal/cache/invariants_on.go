@@ -1,0 +1,14 @@
+//go:build invariants
+
+package cache
+
+import "fmt"
+
+// Invariants build: pin-accounting violations panic at the exact site of
+// the bug instead of surfacing later as an error some caller may swallow.
+// The race detector cannot catch these — the accounting is perfectly
+// synchronized, just wrong — so `go test -tags invariants` is the runtime
+// complement to the pinbalance static analyzer.
+func invariantViolation(format string, args ...any) {
+	panic("invariant violation: " + fmt.Sprintf(format, args...))
+}

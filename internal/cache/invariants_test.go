@@ -1,0 +1,33 @@
+//go:build invariants
+
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want invariant violation containing %q", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v; want message containing %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func TestUnpinAbsentPanicsUnderInvariants(t *testing.T) {
+	c := New(2)
+	mustPanic(t, "unpin of absent chunk", func() { _ = c.Unpin(99) })
+}
+
+func TestUnpinUnderflowPanicsUnderInvariants(t *testing.T) {
+	c := New(2)
+	c.Put(mk(1), false)
+	mustPanic(t, "unpin of unpinned chunk", func() { _ = c.Unpin(1) })
+}

@@ -1,0 +1,12 @@
+//go:build !invariants
+
+package chunk
+
+// Production build: pool bookkeeping compiles away entirely — the hot
+// acquire/release paths must not pay for a map lookup per chunk. The
+// invariants build (see invariants_on.go) adds double-recycle detection
+// and outstanding-buffer counters.
+func noteGetVector(*Vector)               {}
+func notePutVector(*Vector)               {}
+func noteGetPositionalMap(*PositionalMap) {}
+func notePutPositionalMap(*PositionalMap) {}

@@ -1,0 +1,53 @@
+//go:build invariants
+
+package chunk
+
+import (
+	"testing"
+
+	"scanraw/internal/schema"
+)
+
+func TestDoubleRecycleVectorPanics(t *testing.T) {
+	v := GetVector(schema.Int64, 8)
+	PutVector(v)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second PutVector of the same vector did not panic")
+		}
+	}()
+	PutVector(v)
+}
+
+func TestDoubleRecyclePositionalMapPanics(t *testing.T) {
+	m := GetPositionalMap(8, 2)
+	PutPositionalMap(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second PutPositionalMap of the same map did not panic")
+		}
+	}()
+	PutPositionalMap(m)
+}
+
+func TestOutstandingCountersBalance(t *testing.T) {
+	vBase, mBase := OutstandingVectors(), OutstandingMaps()
+
+	v := GetVector(schema.Float64, 4)
+	m := GetPositionalMap(4, 2)
+	if got := OutstandingVectors(); got != vBase+1 {
+		t.Errorf("OutstandingVectors = %d, want %d", got, vBase+1)
+	}
+	if got := OutstandingMaps(); got != mBase+1 {
+		t.Errorf("OutstandingMaps = %d, want %d", got, mBase+1)
+	}
+
+	PutVector(v)
+	PutPositionalMap(m)
+	if got := OutstandingVectors(); got != vBase {
+		t.Errorf("OutstandingVectors after release = %d, want %d", got, vBase)
+	}
+	if got := OutstandingMaps(); got != mBase {
+		t.Errorf("OutstandingMaps after release = %d, want %d", got, mBase)
+	}
+}

@@ -52,6 +52,7 @@ func GetVector(t schema.Type, n int) *Vector {
 	default:
 		panic("chunk: invalid vector type")
 	}
+	noteGetVector(v)
 	return v
 }
 
@@ -62,6 +63,7 @@ func PutVector(v *Vector) {
 	if v == nil || !v.Type.Valid() {
 		return
 	}
+	notePutVector(v)
 	vecPools[v.Type].Put(v)
 }
 
@@ -95,6 +97,7 @@ func GetPositionalMap(rows, cols int) *PositionalMap {
 		m.LineEnd = m.LineEnd[:0]
 	}
 	m.NumRows, m.NumCols = 0, 0
+	noteGetPositionalMap(m)
 	return m
 }
 
@@ -104,5 +107,6 @@ func PutPositionalMap(m *PositionalMap) {
 	if m == nil {
 		return
 	}
+	notePutPositionalMap(m)
 	pmPool.Put(m)
 }

@@ -43,6 +43,7 @@ func releaseScratch(e Expr, v *chunk.Vector) {
 		return
 	}
 	if _, isCol := e.(*Col); isCol {
+		//lint:ignore poolpair Col results alias cached chunk vectors; recycling here would corrupt shared chunks
 		return
 	}
 	chunk.PutVector(v)

@@ -1,0 +1,11 @@
+package engine
+
+import (
+	"testing"
+
+	"scanraw/internal/testutil"
+)
+
+// TestMain fails the package when a test leaves partial-executor or
+// delivery goroutines running after it returns. See internal/testutil.
+func TestMain(m *testing.M) { testutil.Main(m) }

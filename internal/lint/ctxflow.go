@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxFlow enforces context propagation through the public API: an exported
+// function that accepts a context.Context must actually thread it onward.
+// Three shapes are flagged: (1) the ctx parameter is never used at all —
+// the signature promises cancellation the body ignores; (2) the body
+// manufactures a fresh context.Background()/TODO() even though the
+// caller's ctx is in scope — the classic way a query outlives its
+// disconnect; (3) the body calls plain F(...) when the same file declares
+// a FContext(ctx, ...) variant — the cancellable path exists and is being
+// bypassed. The one legal bypass is FContext itself calling F as its
+// implementation.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported functions taking a context.Context must thread it into the calls they make",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(f *File) []Diagnostic {
+	// Names declared in this file: used to detect available FContext
+	// variants for rule (3).
+	declared := map[string]bool{}
+	for _, d := range f.File.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			declared[fd.Name.Name] = true
+		}
+	}
+
+	var diags []Diagnostic
+	for _, d := range f.File.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		ctxName := ctxParamName(fd.Type)
+		if ctxName == "" || ctxName == "_" {
+			continue
+		}
+		if !usesName(fd.Body, ctxName) {
+			diags = append(diags, f.diag("ctxflow", fd.Name,
+				"%s accepts %s but never uses it — cancellation and deadlines are silently ignored", fd.Name.Name, ctxName))
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Rule 2: a fresh background context while the caller's is in scope.
+			if recv, name := callee(call); recv == "context" && (name == "Background" || name == "TODO") {
+				diags = append(diags, f.diag("ctxflow", call,
+					"%s has %s in scope but builds context.%s — thread the caller's context instead", fd.Name.Name, ctxName, name))
+				return true
+			}
+			// Rule 3: F(...) called where FContext(ctx, ...) exists in this file.
+			_, name := callee(call)
+			if name == "" || strings.HasSuffix(name, "Context") {
+				return true
+			}
+			variant := name + "Context"
+			if !declared[variant] || fd.Name.Name == variant {
+				return true
+			}
+			for _, a := range call.Args {
+				if usesName(a, ctxName) {
+					return true
+				}
+			}
+			diags = append(diags, f.diag("ctxflow", call,
+				"%s calls %s without %s although %s exists — the call cannot be cancelled", fd.Name.Name, name, ctxName, variant))
+			return true
+		})
+	}
+	return diags
+}
+
+// ctxParamName returns the name of the first parameter whose type is
+// context.Context (or a bare Context identifier), or "".
+func ctxParamName(ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		if !isContextType(field.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return "_"
+		}
+		return field.Names[0].Name
+	}
+	return ""
+}
+
+func isContextType(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := v.X.(*ast.Ident); ok {
+			return id.Name == "context" && v.Sel.Name == "Context"
+		}
+	case *ast.Ident:
+		return v.Name == "Context"
+	}
+	return false
+}

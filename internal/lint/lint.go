@@ -1,0 +1,361 @@
+// Package lint is scanraw's project-specific static-analysis suite: the
+// concurrency and resource-lifecycle invariants the pipeline depends on —
+// cache pin/unpin balance, vector-pool recycle discipline, goroutine
+// termination, context propagation, and lock/channel ordering — are not
+// visible to `go vet` or the race detector (a race-free double-unpin is
+// still a corruption; a leaked reader goroutine is still a capacity leak),
+// so they are enforced mechanically here and wired into `make check`.
+//
+// The driver is stdlib-only (go/parser + go/ast + go/types): packages are
+// parsed from source, type-checked best-effort with a stub importer (local
+// identifier resolution is what the analyzers consume; cross-package types
+// are not required), and each analyzer walks the AST per file.
+//
+// False positives are suppressed inline with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason is
+// mandatory: a bare directive is itself a diagnostic, so every suppression
+// in the tree documents why the invariant holds anyway.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// File is the per-file analysis input handed to analyzers.
+type File struct {
+	Fset *token.FileSet
+	File *ast.File
+	Path string
+	// Pkg is the slash-separated package directory relative to the module
+	// root (e.g. "internal/scanraw"); package-scoped analyzers match on it.
+	Pkg string
+	// Info carries best-effort type-checker results. Imports resolve to
+	// stub packages, so cross-package types are invalid — analyzers use
+	// Info only for local identifier/object resolution and must degrade to
+	// name matching when an object is missing.
+	Info *types.Info
+}
+
+// objectOf resolves an identifier to its declared object, or nil when the
+// best-effort checker could not.
+func (f *File) objectOf(id *ast.Ident) types.Object {
+	if f.Info == nil || id == nil {
+		return nil
+	}
+	return f.Info.ObjectOf(id)
+}
+
+// sameIdent reports whether two identifiers denote the same variable,
+// preferring type-checker objects and falling back to name equality.
+func (f *File) sameIdent(a, b *ast.Ident) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if oa, ob := f.objectOf(a), f.objectOf(b); oa != nil && ob != nil {
+		return oa == ob
+	}
+	return a.Name == b.Name
+}
+
+// Analyzer is one named check run over every loaded file.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Dirs restricts the analyzer to packages whose root-relative path has
+	// one of these suffixes; empty applies everywhere.
+	Dirs []string
+	Run  func(f *File) []Diagnostic
+}
+
+func (a *Analyzer) applies(pkg string) bool {
+	if len(a.Dirs) == 0 {
+		return true
+	}
+	for _, d := range a.Dirs {
+		if pkg == d || strings.HasSuffix(pkg, "/"+d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full project suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		PinBalance,
+		PoolPair,
+		GoExit,
+		CtxFlow,
+		LockSend,
+	}
+}
+
+// Config parameterizes a lint run.
+type Config struct {
+	// Root is the module root directory patterns are resolved against.
+	Root string
+	// IncludeTests lints _test.go files too. Off by default: test files
+	// spawn short-lived goroutines and local resources freely, and the
+	// invariants the suite guards are production-path lifecycles.
+	IncludeTests bool
+}
+
+// Run expands the package patterns ("./..." or directory paths), parses and
+// type-checks each package, applies the analyzers, filters suppressed
+// findings, and returns the surviving diagnostics sorted by position.
+func Run(cfg Config, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if cfg.Root == "" {
+		cfg.Root = "."
+	}
+	dirs, err := expandPatterns(cfg.Root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		ds, err := runDir(fset, cfg, dir, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// expandPatterns resolves the CLI package patterns into package directories.
+// "./..." (or "...") walks every directory under root that holds Go files,
+// skipping testdata, vendor and hidden directories.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range patterns {
+		if p == "./..." || p == "..." {
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		p = strings.TrimSuffix(p, "/...")
+		dir := p
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(root, p)
+		}
+		st, err := os.Stat(dir)
+		if err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("lint: %q is not a package directory", p)
+		}
+		add(dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// runDir parses, type-checks and analyzes one package directory.
+func runDir(fset *token.FileSet, cfg Config, dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var paths []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !cfg.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := typeCheck(fset, dir, files)
+	pkg, err := filepath.Rel(cfg.Root, dir)
+	if err != nil {
+		pkg = dir
+	}
+	pkg = filepath.ToSlash(pkg)
+
+	var diags []Diagnostic
+	for i, af := range files {
+		lf := &File{Fset: fset, File: af, Path: paths[i], Pkg: pkg, Info: info}
+		ig, igDiags := collectIgnores(fset, af)
+		diags = append(diags, igDiags...)
+		for _, a := range analyzers {
+			if !a.applies(pkg) {
+				continue
+			}
+			for _, d := range a.Run(lf) {
+				if !ig.suppresses(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	return diags, nil
+}
+
+// typeCheck runs go/types over the package with a stub importer, collecting
+// whatever identifier resolution succeeds. Errors are expected (imports are
+// stubs) and ignored — the analyzers only consume local object identity.
+func typeCheck(fset *token.FileSet, dir string, files []*ast.File) *types.Info {
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer:    stubImporter{pkgs: map[string]*types.Package{}},
+		Error:       func(error) {}, // best-effort: keep going past stub-import holes
+		FakeImportC: true,
+	}
+	// The result package is irrelevant; Info side tables are the product.
+	_, _ = conf.Check(dir, fset, files, info)
+	return info
+}
+
+// stubImporter satisfies every import with an empty placeholder package, so
+// type-checking proceeds without compiled export data or module resolution.
+type stubImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (s stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := s.pkgs[path]; ok {
+		return p, nil
+	}
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	p := types.NewPackage(path, base)
+	p.MarkComplete()
+	s.pkgs[path] = p
+	return p, nil
+}
+
+// ignoreRe matches the suppression directive. The analyzer list is comma
+// separated; the reason is everything after it.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+([A-Za-z0-9_,]+)(?:\s+(.*))?$`)
+
+// ignores maps source lines to the analyzer names suppressed there.
+type ignores map[int][]string
+
+func (ig ignores) suppresses(d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range ig[line] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores gathers //lint:ignore directives, reporting malformed ones
+// (missing reason) as diagnostics so suppressions stay justified.
+func collectIgnores(fset *token.FileSet, f *ast.File) (ignores, []Diagnostic) {
+	ig := ignores{}
+	var diags []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if strings.TrimSpace(m[2]) == "" {
+				diags = append(diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "lint",
+					Message:  "//lint:ignore needs a reason: `//lint:ignore <analyzer> <why the invariant holds>`",
+				})
+				continue
+			}
+			for _, name := range strings.Split(m[1], ",") {
+				ig[pos.Line] = append(ig[pos.Line], name)
+			}
+		}
+	}
+	return ig, diags
+}

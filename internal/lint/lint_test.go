@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixture contract: every line that must produce a diagnostic ends in a
+// `// want` comment. A line holding a bare `//lint:ignore <analyzer>`
+// directive (no reason) is an implicit want — the driver reports the
+// missing reason at that line, and the comment cannot also carry a marker.
+var bareDirectiveRe = regexp.MustCompile(`^//lint:ignore\s+[A-Za-z0-9_,]+$`)
+
+type wantKey struct {
+	file string // base name of the fixture file
+	line int
+}
+
+func TestAnalyzersOnFixtures(t *testing.T) {
+	byName := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	for _, name := range []string{"pinbalance", "poolpair", "goexit", "ctxflow", "locksend"} {
+		a := byName[name]
+		if a == nil {
+			t.Fatalf("analyzer %q not registered", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			root := filepath.Join("testdata", "src", name)
+			wants := collectWants(t, root)
+			if len(wants) == 0 {
+				t.Fatalf("fixture dir %s has no // want markers — every analyzer needs a bad fixture", root)
+			}
+			diags, err := Run(Config{Root: root}, []string{"./..."}, []*Analyzer{a})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			got := map[wantKey]int{}
+			for _, d := range diags {
+				got[wantKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}]++
+			}
+			for k, n := range wants {
+				if got[k] != n {
+					t.Errorf("%s:%d: want %d diagnostic(s), got %d", k.file, k.line, n, got[k])
+				}
+			}
+			for k := range got {
+				if _, ok := wants[k]; !ok {
+					t.Errorf("%s:%d: unexpected diagnostic(s): %s", k.file, k.line, describe(diags, k))
+				}
+			}
+		})
+	}
+}
+
+func describe(diags []Diagnostic, k wantKey) string {
+	var msgs []string
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == k.file && d.Pos.Line == k.line {
+			msgs = append(msgs, fmt.Sprintf("[%s] %s", d.Analyzer, d.Message))
+		}
+	}
+	return strings.Join(msgs, "; ")
+}
+
+func collectWants(t *testing.T, root string) map[wantKey]int {
+	t.Helper()
+	wants := map[wantKey]int{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			k := wantKey{file: filepath.Base(path), line: i + 1}
+			if strings.Contains(line, "// want") {
+				wants[k]++
+			}
+			if bareDirectiveRe.MatchString(strings.TrimSpace(line)) {
+				wants[k]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("collecting wants: %v", err)
+	}
+	return wants
+}
+
+// TestSuppressionNeedsReason pins the driver behavior the bareDirective
+// fixture depends on: a reasonless directive is itself a finding and does
+// not suppress anything.
+func TestSuppressionNeedsReason(t *testing.T) {
+	diags, err := Run(Config{Root: filepath.Join("testdata", "src", "poolpair")}, []string{"./..."}, []*Analyzer{PoolPair})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var lintDiags, poolDiags int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			lintDiags++
+		case "poolpair":
+			poolDiags++
+		}
+	}
+	if lintDiags != 1 {
+		t.Errorf("want exactly 1 missing-reason finding, got %d", lintDiags)
+	}
+	if poolDiags < 3 {
+		t.Errorf("want >=3 poolpair findings (loop drop, inconsistent release, unsuppressed bare-directive drop), got %d", poolDiags)
+	}
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockSend forbids channel operations inside mutex critical sections: a
+// send or receive while holding a sync.Mutex/RWMutex is the deadlock shape
+// this codebase is most exposed to — the goroutine that would drain the
+// channel may be blocked on the same lock (the scheduler/resizer/gate
+// triangle). The critical section is computed positionally: from a
+// x.Lock()/x.RLock() statement to the first matching x.Unlock()/x.RUnlock()
+// in the same function, or to the end of the function when the unlock is
+// deferred. Channel operations inside nested function literals are not
+// flagged (they run later, off the lock, unless invoked inline — a case
+// the runtime invariants and race tests cover instead).
+var LockSend = &Analyzer{
+	Name: "locksend",
+	Doc:  "no channel send/receive while holding a sync.Mutex/RWMutex",
+	Run:  runLockSend,
+}
+
+var lockNames = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func runLockSend(f *File) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range funcUnits(f) {
+		diags = append(diags, lockRegions(f, u)...)
+	}
+	return diags
+}
+
+// lockRegions finds each Lock call's critical section and scans it for
+// channel operations.
+func lockRegions(f *File, u unit) []Diagnostic {
+	type region struct {
+		recv       string
+		start, end token.Pos
+	}
+	var regions []region
+
+	// Calls reached only through a defer run at function exit — an unlock
+	// there must not close the critical section early.
+	inDefer := map[ast.Node]bool{}
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			ast.Inspect(d, func(k ast.Node) bool {
+				if c, ok := k.(*ast.CallExpr); ok {
+					inDefer[c] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Locate Lock/RLock call statements and their matching unlocks; a
+	// deferred (or missing) unlock holds the lock to function end.
+	inspectNoFuncLit(u.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || inDefer[call] {
+			return true
+		}
+		recv, name := callee(call)
+		unlockName, isLock := lockNames[name]
+		if !isLock || recv == "" {
+			return true
+		}
+		end := u.body.End()
+		inspectNoFuncLit(u.body, func(m ast.Node) bool {
+			v, ok := m.(*ast.CallExpr)
+			if !ok || inDefer[v] {
+				return true
+			}
+			if r2, n2 := callee(v); r2 == recv && n2 == unlockName && v.Pos() > call.End() && v.Pos() < end {
+				end = v.Pos()
+			}
+			return true
+		})
+		regions = append(regions, region{recv: recv, start: call.End(), end: end})
+		return true
+	})
+
+	var diags []Diagnostic
+	for _, r := range regions {
+		inspectNoFuncLit(u.body, func(n ast.Node) bool {
+			if n.Pos() <= r.start || n.End() > r.end {
+				return true
+			}
+			switch v := n.(type) {
+			case *ast.SelectStmt:
+				diags = append(diags, f.diag("locksend", v,
+					"select on channels while holding %s — a blocked peer waiting for the lock deadlocks here", r.recv))
+				return false // cases inside are covered by this finding
+			case *ast.SendStmt:
+				diags = append(diags, f.diag("locksend", v,
+					"channel send while holding %s — move it outside the critical section", r.recv))
+			case *ast.UnaryExpr:
+				if v.Op == token.ARROW {
+					diags = append(diags, f.diag("locksend", v,
+						"channel receive while holding %s — move it outside the critical section", r.recv))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

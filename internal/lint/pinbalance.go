@@ -1,0 +1,34 @@
+package lint
+
+// PinBalance enforces the cache pin discipline: every pin taken —
+// Acquire/AcquireOldestUnloaded (which return a pinned chunk) and
+// Pin/PutPinned/putPinnedWait* (which pin their argument) — must be
+// matched by an Unpin on every path, or ownership must be transferred
+// (chunk handed to a deliverer, sent on a channel, returned). A pinned
+// entry can never be evicted, so a dropped pin permanently shrinks the
+// binary cache; the race detector cannot see it because pin accounting
+// is perfectly synchronized — just wrong.
+var PinBalance = &Analyzer{
+	Name: "pinbalance",
+	Doc:  "cache pins (Acquire/Pin/PutPinned) must be matched by Unpin on all paths",
+	Run: func(f *File) []Diagnostic {
+		return checkPairs(f, pinSpec)
+	},
+}
+
+var pinSpec = &pairSpec{
+	analyzer: "pinbalance",
+	what:     "pinned chunk",
+	verb:     "unpinned",
+	acquires: map[string]acqKind{
+		"Acquire":               {fromResult: true},
+		"AcquireOldestUnloaded": {fromResult: true},
+		"Pin":                   {argIdx: 0},
+		"PutPinned":             {argIdx: 0},
+		"putPinnedWait":         {argIdx: 0},
+		"putPinnedWaitEv":       {argIdx: 0},
+	},
+	releases: map[string]int{
+		"Unpin": 0,
+	},
+}

@@ -1,0 +1,37 @@
+package lint
+
+// PoolPair enforces the vector/positional-map pooling discipline: buffers
+// taken from the shared pools (chunk.GetVector, chunk.GetPositionalMap,
+// and the operator's tokenizeChunk wrapper, which returns a pooled map)
+// must reach a recycle call (PutVector, PutPositionalMap, releaseMap) or
+// have their ownership transferred. The classic violation is an early
+// error return between acquire and recycle: the buffer is garbage
+// collected instead of reused, silently eroding the pool's allocation
+// savings on exactly the paths tests rarely cover. The inconsistent-
+// release pass (phase B) specifically hunts that shape: a buffer recycled
+// on the main path but dropped by an earlier early exit.
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "pooled vectors and positional maps must reach a recycle call on all paths",
+	Run: func(f *File) []Diagnostic {
+		return checkPairs(f, poolSpec)
+	},
+}
+
+var poolSpec = &pairSpec{
+	analyzer: "poolpair",
+	what:     "pooled buffer",
+	verb:     "recycled",
+	acquires: map[string]acqKind{
+		"GetVector":        {fromResult: true},
+		"GetPositionalMap": {fromResult: true},
+		"tokenizeChunk":    {fromResult: true},
+		"parseColumn":      {fromResult: true},
+	},
+	releases: map[string]int{
+		"PutVector":        0,
+		"PutPositionalMap": 0,
+		"releaseMap":       1,
+	},
+	phaseB: true,
+}

@@ -1,0 +1,40 @@
+package fixture
+
+import "context"
+
+// Bad: the signature promises cancellation the body ignores.
+func Ignored(ctx context.Context, id int) error { // want
+	return Fetch(id)
+}
+
+// Bad: manufactures a fresh context while the caller's is in scope.
+func Fresh(ctx context.Context, id int) error {
+	if err := check(ctx, id); err != nil {
+		return err
+	}
+	c := context.Background() // want
+	return FetchContext(c, id)
+}
+
+// Bad: calls the plain variant although FetchContext exists in this file.
+func Bypass(ctx context.Context, id int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return Fetch(id) // want
+}
+
+// Good: threads the caller's context into the cancellable variant.
+func Threaded(ctx context.Context, id int) error {
+	return FetchContext(ctx, id)
+}
+
+func Fetch(id int) error { return nil }
+
+// Good: the Context variant may call the plain implementation itself.
+func FetchContext(ctx context.Context, id int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return Fetch(id)
+}

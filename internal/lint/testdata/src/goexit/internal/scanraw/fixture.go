@@ -1,0 +1,50 @@
+package fixture
+
+// Bad: spins forever; no way to hear a done signal.
+func badSpin(work func()) {
+	go func() {
+		for { // want
+			work()
+		}
+	}()
+}
+
+// Bad: busy-polls a flag; the goroutine has no termination signal.
+func badPoll(stop *bool) {
+	go func() {
+		for !*stop { // want
+			poll()
+		}
+	}()
+}
+
+// Good: the loop selects on the done channel.
+func goodSelectLoop(done chan struct{}, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case j := <-jobs:
+				handle(j)
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// Good: range over a channel ends when the producer closes it.
+func goodRange(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			handle(j)
+		}
+	}()
+}
+
+// Good: blocks on a WaitGroup, then exits.
+func goodWait(wg *WaitGroup, done chan struct{}) {
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+}

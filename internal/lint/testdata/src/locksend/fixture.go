@@ -1,0 +1,51 @@
+package fixture
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	ch    chan int
+	items []int
+}
+
+// Bad: sends on a channel inside the critical section.
+func (q *queue) badSendLocked(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.ch <- v // want
+	q.mu.Unlock()
+}
+
+// Bad: the deferred unlock holds the lock across the receive.
+func (q *queue) badRecvDeferred() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want
+}
+
+// Bad: blocks in select while holding the lock.
+func (q *queue) badSelectLocked(done chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want
+	case v := <-q.ch:
+		q.items = append(q.items, v)
+	case <-done:
+	}
+}
+
+// Good: the send happens after the unlock.
+func (q *queue) goodSendOutside(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// Good: the notification runs in its own goroutine, off the lock.
+func (q *queue) goodAsyncNotify(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, v)
+	go func() { q.ch <- v }()
+}

@@ -1,0 +1,56 @@
+package fixture
+
+// Bad: the pin taken by Acquire is dropped by the early return.
+func badDropOnBranch(c *Cache, id int) error {
+	bc := c.Acquire(id)
+	if bc == nil {
+		return errNotFound
+	}
+	if tooBig(id) {
+		return errSkipped // want
+	}
+	_ = c.Unpin(id)
+	return use(bc)
+}
+
+// Bad: the pinned result is discarded outright.
+func badDropOnFloor(c *Cache, id int) {
+	c.Acquire(id) // want
+}
+
+// Good: a deferred Unpin covers every path.
+func goodDefer(c *Cache, id int) error {
+	bc := c.Acquire(id)
+	if bc == nil {
+		return errNotFound
+	}
+	defer c.Unpin(id)
+	if tooBig(id) {
+		return errSkipped
+	}
+	return use(bc)
+}
+
+// Good: every branch releases before exiting.
+func goodAllBranches(c *Cache, id int) error {
+	bc := c.Acquire(id)
+	if bc == nil {
+		return errNotFound
+	}
+	if tooBig(id) {
+		_ = c.Unpin(id)
+		return errSkipped
+	}
+	_ = c.Unpin(id)
+	return use(bc)
+}
+
+// Good: ownership moves to the channel consumer.
+func goodTransfer(c *Cache, id int, out chan *BinaryChunk) bool {
+	bc := c.Acquire(id)
+	if bc == nil {
+		return false
+	}
+	out <- bc
+	return true
+}

@@ -1,0 +1,60 @@
+package fixture
+
+// Bad: the early return inside the loop drops the pooled map.
+func badLoopDrop(rows, cols int) (*PositionalMap, error) {
+	m := GetPositionalMap(rows, cols)
+	for i := 0; i < rows; i++ {
+		if i > cols {
+			return nil, errShortRow // want
+		}
+		m.Starts = append(m.Starts, int32(i))
+	}
+	return m, nil
+}
+
+// Bad (inconsistent release): the buffer is recycled on the main path but
+// dropped by the guard's early exit.
+func badInconsistentRelease(v *Vector, n int) error {
+	if n < 0 {
+		return errNegative // want
+	}
+	fill(v, n)
+	PutVector(v)
+	return nil
+}
+
+// Good: the error path recycles before returning.
+func goodRecycleEverywhere(rows, cols int) (*PositionalMap, error) {
+	m := GetPositionalMap(rows, cols)
+	for i := 0; i < rows; i++ {
+		if i > cols {
+			PutPositionalMap(m)
+			return nil, errShortRow
+		}
+		m.Starts = append(m.Starts, int32(i))
+	}
+	return m, nil
+}
+
+// Good: a justified suppression silences the finding.
+func suppressedDrop(rows, cols int) error {
+	m := GetPositionalMap(rows, cols)
+	if rows > cols {
+		//lint:ignore poolpair fixture demonstrates the suppression escape hatch
+		return errShortRow
+	}
+	PutPositionalMap(m)
+	return nil
+}
+
+// Bad twice over: a bare directive has no reason (flagged itself) and
+// therefore suppresses nothing — the drop is still reported.
+func bareDirective(rows, cols int) error {
+	m := GetPositionalMap(rows, cols)
+	if rows > cols {
+		//lint:ignore poolpair
+		return errShortRow // want
+	}
+	PutPositionalMap(m)
+	return nil
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// builtinFuncs are calls that never take ownership of their arguments:
+// append/len over a resource's own fields is bookkeeping, not transfer.
+var builtinFuncs = map[string]bool{
+	"append": true, "cap": true, "clear": true, "copy": true,
+	"delete": true, "len": true, "make": true, "max": true,
+	"min": true, "new": true, "panic": true, "print": true,
+	"println": true, "recover": true,
+}
+
+// exprText renders a compact dotted form of an expression: identifiers and
+// selector chains come out as written ("o.cache.Unpin"), indexing and calls
+// collapse to their base. Unrenderable shapes yield "".
+func exprText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		base := exprText(v.X)
+		if base == "" {
+			return v.Sel.Name
+		}
+		return base + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(v.X)
+	case *ast.StarExpr:
+		return exprText(v.X)
+	case *ast.UnaryExpr:
+		return exprText(v.X)
+	case *ast.IndexExpr:
+		return exprText(v.X)
+	case *ast.TypeAssertExpr:
+		return exprText(v.X)
+	case *ast.CallExpr:
+		return exprText(v.Fun) + "()"
+	}
+	return ""
+}
+
+// callee splits a call into the receiver/package chain and the bare method
+// or function name ("o.cache", "Unpin").
+func callee(call *ast.CallExpr) (recv, name string) {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return "", f.Name
+	case *ast.SelectorExpr:
+		return exprText(f.X), f.Sel.Name
+	case *ast.ParenExpr:
+		return callee(&ast.CallExpr{Fun: f.X})
+	}
+	return "", ""
+}
+
+// rootIdent returns the leftmost identifier of a selector/index/deref
+// chain, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.TypeAssertExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// unit is one function body under analysis: a declaration or a function
+// literal, with its parameter names (receiver included).
+type unit struct {
+	name   string
+	node   ast.Node
+	body   *ast.BlockStmt
+	params map[string]bool
+}
+
+// funcUnits collects every function body in the file — declarations and
+// literals alike — as independent analysis units. Literals are reported
+// under the enclosing declaration's name.
+func funcUnits(f *File) []unit {
+	var units []unit
+	collectParams := func(ft *ast.FuncType, recv *ast.FieldList) map[string]bool {
+		params := map[string]bool{}
+		addList := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				for _, n := range field.Names {
+					params[n.Name] = true
+				}
+			}
+		}
+		addList(recv)
+		addList(ft.Params)
+		addList(ft.Results)
+		return params
+	}
+	for _, decl := range f.File.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		units = append(units, unit{
+			name:   fd.Name.Name,
+			node:   fd,
+			body:   fd.Body,
+			params: collectParams(fd.Type, fd.Recv),
+		})
+		outer := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				units = append(units, unit{
+					name:   fmt.Sprintf("%s (func literal at line %d)", outer, f.Fset.Position(fl.Pos()).Line),
+					node:   fl,
+					body:   fl.Body,
+					params: collectParams(fl.Type, nil),
+				})
+			}
+			return true
+		})
+	}
+	return units
+}
+
+// inspectNoFuncLit walks the subtree like ast.Inspect but does not descend
+// into nested function literals (they are separate units).
+func inspectNoFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// usesName reports whether the subtree references the identifier name
+// outside of struct-field selectors (x.name does not count; name.x does).
+func usesName(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := m.(type) {
+		case *ast.SelectorExpr:
+			// Only the base expression can reference the variable; the
+			// selector name itself is a field/method.
+			ast.Inspect(v.X, func(k ast.Node) bool {
+				if id, ok := k.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+			return false
+		case *ast.Ident:
+			if v.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// condIdents returns the identifier names appearing in an expression.
+func condIdents(e ast.Expr) map[string]bool {
+	ids := map[string]bool{}
+	if e == nil {
+		return ids
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			ids[id.Name] = true
+		}
+		return true
+	})
+	return ids
+}
+
+// firstExit returns the first return or break/continue/goto statement in
+// the subtree, skipping nested function literals, or nil.
+func firstExit(n ast.Node) (exit ast.Stmt) {
+	inspectNoFuncLit(n, func(m ast.Node) bool {
+		if exit != nil {
+			return false
+		}
+		switch s := m.(type) {
+		case *ast.ReturnStmt:
+			exit = s
+			return false
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO {
+				exit = s
+			}
+			return false
+		}
+		return true
+	})
+	return exit
+}
+
+// isNilCompare recognizes `x == nil` / `x != nil` conditions against the
+// given resource name and returns the comparison token.
+func isNilCompare(cond ast.Expr, res string) (tok token.Token, ok bool) {
+	be, isBin := cond.(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return 0, false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	match := func(e ast.Expr) bool { return exprText(e) == res }
+	if (isNil(be.X) && match(be.Y)) || (isNil(be.Y) && match(be.X)) {
+		return be.Op, true
+	}
+	return 0, false
+}
+
+func (f *File) pos(n ast.Node) token.Position { return f.Fset.Position(n.Pos()) }
+
+func (f *File) diag(analyzer string, n ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{Pos: f.pos(n), Analyzer: analyzer, Message: fmt.Sprintf(format, args...)}
+}

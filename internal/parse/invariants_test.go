@@ -1,0 +1,39 @@
+//go:build invariants
+
+package parse
+
+import (
+	"testing"
+
+	"scanraw/internal/chunk"
+)
+
+// Regression: a conversion failure used to drop the column vector being
+// filled (and, for multi-column requests, the vectors already installed in
+// the partial chunk). The pool gauge makes both leaks observable.
+func TestParseErrorReleasesVectors(t *testing.T) {
+	c, m := tokenized(t, "1,2.5,alice\nbogus,3.5,bob\n", 3)
+	p := &Parser{Schema: testSchema}
+	base := chunk.OutstandingVectors()
+	if _, err := p.Parse(c, m, []int{2, 1, 0}); err == nil {
+		t.Fatal("malformed int column parsed without error")
+	}
+	if got := chunk.OutstandingVectors(); got != base {
+		t.Errorf("vectors leaked on parse error: outstanding %d, want %d", got, base)
+	}
+	chunk.PutPositionalMap(m)
+}
+
+func TestParseWhereErrorReleasesVectors(t *testing.T) {
+	c, m := tokenized(t, "1,bogus,alice\n2,3.5,bob\n", 3)
+	p := &Parser{Schema: testSchema}
+	base := chunk.OutstandingVectors()
+	_, _, err := p.ParseWhere(c, m, []int{0, 1}, 0, func([]byte) bool { return true })
+	if err == nil {
+		t.Fatal("malformed float column parsed without error")
+	}
+	if got := chunk.OutstandingVectors(); got != base {
+		t.Errorf("vectors leaked on ParseWhere error: outstanding %d, want %d", got, base)
+	}
+	chunk.PutPositionalMap(m)
+}

@@ -41,9 +41,12 @@ func (p *Parser) Parse(c *chunk.TextChunk, m *chunk.PositionalMap, cols []int) (
 	for _, col := range cols {
 		v, err := p.parseColumn(c, m, col, nil)
 		if err != nil {
+			bc.RecycleColumns()
 			return nil, err
 		}
 		if err := bc.SetColumn(col, v); err != nil {
+			chunk.PutVector(v)
+			bc.RecycleColumns()
 			return nil, err
 		}
 	}
@@ -77,9 +80,12 @@ func (p *Parser) ParseWhere(c *chunk.TextChunk, m *chunk.PositionalMap, cols []i
 	for _, col := range cols {
 		v, err := p.parseColumn(c, m, col, keep)
 		if err != nil {
+			bc.RecycleColumns()
 			return nil, nil, err
 		}
 		if err := bc.SetColumn(col, v); err != nil {
+			chunk.PutVector(v)
+			bc.RecycleColumns()
 			return nil, nil, err
 		}
 	}
@@ -118,6 +124,7 @@ func (p *Parser) parseColumn(c *chunk.TextChunk, m *chunk.PositionalMap, col int
 			s, e := m.Field(r, col)
 			x, err := ParseInt(c.Data[s:e])
 			if err != nil {
+				chunk.PutVector(v)
 				return nil, fmt.Errorf("parse: chunk %d row %d col %d: %w", c.ID, r, col, err)
 			}
 			v.Ints[i] = x
@@ -131,6 +138,7 @@ func (p *Parser) parseColumn(c *chunk.TextChunk, m *chunk.PositionalMap, col int
 			s, e := m.Field(r, col)
 			x, err := ParseFloat(c.Data[s:e])
 			if err != nil {
+				chunk.PutVector(v)
 				return nil, fmt.Errorf("parse: chunk %d row %d col %d: %w", c.ID, r, col, err)
 			}
 			v.Floats[i] = x

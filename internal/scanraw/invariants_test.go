@@ -1,0 +1,69 @@
+//go:build invariants
+
+package scanraw
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/dbstore"
+	"scanraw/internal/engine"
+	"scanraw/internal/gen"
+	"scanraw/internal/vdisk"
+)
+
+// Regression: a mid-scan Parse failure used to drop pooled positional maps
+// on several paths — the parse task's error branch, the parse consumer's
+// failed/done drains, and the sequential converter. The invariants-build
+// pool gauge turns any such drop into a nonzero delta here. The positional
+// map cache stays off so every map's lifetime must end in a recycle.
+func TestScanErrorReleasesPositionalMaps(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		name := "sequential"
+		if workers > 0 {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			const rows, cols = 256, 2
+			var sb strings.Builder
+			for r := 0; r < rows; r++ {
+				if r == rows/2 {
+					sb.WriteString("7,notanint\n")
+					continue
+				}
+				sb.WriteString("7,11\n")
+			}
+			d := vdisk.Unlimited()
+			d.Preload("raw/bad.csv", []byte(sb.String()))
+			store := dbstore.NewStore(d)
+			spec := gen.CSVSpec{Rows: rows, Cols: cols, Seed: 1, MaxValue: 100}
+			table, err := store.CreateTable("bad", spec.Schema(), "raw/bad.csv")
+			if err != nil {
+				t.Fatal(err)
+			}
+			op := New(store, table, Config{
+				Workers: workers, ChunkLines: 32, Policy: ExternalTables, CacheChunks: 4,
+			})
+			q, err := engine.SumAllColumns(table.Schema(), "bad", allCols(cols))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			base := chunk.OutstandingMaps()
+			if _, _, err := ExecuteQuery(op, q); err == nil {
+				t.Fatal("scan over malformed file succeeded")
+			}
+			// Failure teardown is asynchronous: in-flight tasks drain after
+			// ExecuteQuery returns its error.
+			deadline := time.Now().Add(2 * time.Second)
+			for chunk.OutstandingMaps() != base && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if got := chunk.OutstandingMaps(); got != base {
+				t.Errorf("positional maps leaked by failed scan: outstanding %d, want %d", got, base)
+			}
+		})
+	}
+}

@@ -684,6 +684,7 @@ func (r *run) tokenizeTask(tc *chunk.TextChunk, slot *workerSlot) {
 	select {
 	case r.posBuf <- posItem{tc: tc, pm: pm}:
 	case <-r.done:
+		o.releaseMap(tc.ID, pm)
 		r.freePos <- struct{}{}
 	}
 }
@@ -698,6 +699,7 @@ func (r *run) parseConsumer() {
 	for item := range r.posBuf {
 		r.freePos <- struct{}{}
 		if r.failed() {
+			r.op.releaseMap(item.tc.ID, item.pm)
 			continue
 		}
 		if r.satisfied.Load() {
@@ -707,12 +709,14 @@ func (r *run) parseConsumer() {
 		select {
 		case <-r.freeBin:
 		case <-r.done:
+			r.op.releaseMap(item.tc.ID, item.pm)
 			continue
 		}
 		var slot *workerSlot
 		select {
 		case slot = <-r.workers:
 		case <-r.done:
+			r.op.releaseMap(item.tc.ID, item.pm)
 			r.freeBin <- struct{}{}
 			continue
 		}
@@ -736,6 +740,7 @@ func (r *run) parseTask(item posItem, slot *workerSlot) {
 	r.workers <- slot
 	if err != nil {
 		r.fail(err)
+		o.releaseMap(item.tc.ID, item.pm)
 		r.freeBin <- struct{}{}
 		return
 	}
@@ -744,6 +749,7 @@ func (r *run) parseTask(item posItem, slot *workerSlot) {
 	if o.cfg.CollectStats {
 		if err := r.recordStats(bc); err != nil {
 			r.fail(err)
+			bc.RecycleColumns()
 			r.freeBin <- struct{}{}
 			return
 		}
@@ -754,6 +760,7 @@ func (r *run) parseTask(item posItem, slot *workerSlot) {
 	if o.cfg.Policy == Invisible && r.invisibleLeft.Add(-1) >= 0 {
 		if err := r.runWrite(bc); err != nil {
 			r.fail(err)
+			bc.RecycleColumns()
 			r.freeBin <- struct{}{}
 			return
 		}

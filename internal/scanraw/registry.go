@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"scanraw/internal/cache"
 	"scanraw/internal/dbstore"
 	"scanraw/internal/engine"
 	"scanraw/internal/schema"
@@ -101,6 +102,28 @@ func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.ops)
+}
+
+// CacheStats aggregates chunk-cache occupancy and pin accounting across
+// every live operator. Pins held by in-flight deliveries are transient; a
+// pin count that stays above zero while the server is idle is a leaked pin,
+// and the pinned entries can never be evicted again.
+func (r *Registry) CacheStats() cache.Stats {
+	r.mu.RLock()
+	snapshot := make([]*Operator, 0, len(r.ops))
+	for _, op := range r.ops {
+		snapshot = append(snapshot, op)
+	}
+	r.mu.RUnlock()
+	var total cache.Stats
+	for _, op := range snapshot {
+		s := op.cache.Stats()
+		total.Entries += s.Entries
+		total.Capacity += s.Capacity
+		total.PinnedEntries += s.PinnedEntries
+		total.PinCount += s.PinCount
+	}
+	return total
 }
 
 // queryConsumer is the engine surface the operator drives: the serial

@@ -413,6 +413,7 @@ func (o *Operator) releaseMap(id int, pm *chunk.PositionalMap) {
 		retained := o.pmCache[id] == pm
 		o.pmMu.Unlock()
 		if retained {
+			//lint:ignore poolpair the pm cache retains this instance; later queries read its offsets
 			return
 		}
 	}

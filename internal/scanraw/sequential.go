@@ -143,12 +143,14 @@ func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
 	d := o.cpuWork(r.seqSlot, func() { bc, err = o.parser.Parse(tc, pm, r.req.Columns) })
 	o.prof.parseNs.Add(int64(d))
 	if err != nil {
+		o.releaseMap(tc.ID, pm)
 		return err
 	}
 	o.releaseMap(tc.ID, pm)
 	o.prof.parseChunks.Add(1)
 	if o.cfg.CollectStats {
 		if err := r.recordStats(bc); err != nil {
+			bc.RecycleColumns()
 			return err
 		}
 	}
@@ -156,12 +158,14 @@ func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
 	switch o.cfg.Policy {
 	case FullLoad:
 		if err := r.runWrite(bc); err != nil {
+			bc.RecycleColumns()
 			return err
 		}
 		loaded = true
 	case Invisible:
 		if r.invisibleLeft.Add(-1) >= 0 {
 			if err := r.runWrite(bc); err != nil {
+				bc.RecycleColumns()
 				return err
 			}
 			loaded = true

@@ -1,0 +1,12 @@
+package server
+
+import (
+	"testing"
+
+	"scanraw/internal/testutil"
+)
+
+// TestMain fails the package when a test leaves server goroutines — scan
+// workers, shared-scan followers, admission waiters — running after it
+// returns. See internal/testutil.
+func TestMain(m *testing.M) { testutil.Main(m) }

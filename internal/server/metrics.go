@@ -95,6 +95,14 @@ type MetricsSnapshot struct {
 	ChunksDelivered ChunkCounts `json:"chunks_delivered"`
 	ChunksLoaded    int64       `json:"chunks_loaded_total"`
 
+	// Pin-leak gauges, aggregated over every live operator's chunk cache.
+	// Pins are transient (held only while a chunk is being consumed), so a
+	// pin count that stays above zero on an idle server is a leaked pin —
+	// the pinned entries can never be evicted again.
+	CacheEntries       int `json:"cache_entries"`
+	CachePinnedEntries int `json:"cache_pinned_entries"`
+	CachePinCount      int `json:"cache_pin_count"`
+
 	QueriesByPolicy map[string]int64 `json:"queries_by_policy"`
 	Tables          int              `json:"tables"`
 	LiveOperators   int              `json:"live_operators"`
@@ -138,6 +146,10 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		QueriesByPolicy: make(map[string]int64),
 		LiveOperators:   s.reg.Len(),
 	}
+	cs := s.reg.CacheStats()
+	snap.CacheEntries = cs.Entries
+	snap.CachePinnedEntries = cs.PinnedEntries
+	snap.CachePinCount = cs.PinCount
 	if total := cache + db + raw; total > 0 {
 		snap.CacheHitRate = float64(cache) / float64(total)
 	}

@@ -591,6 +591,14 @@ func TestConcurrentClientsEndToEnd(t *testing.T) {
 	if len(snap.QueriesByPolicy) == 0 {
 		t.Error("queries_by_policy is empty")
 	}
+	if snap.CacheEntries == 0 {
+		t.Error("cache_entries = 0 after cached scans")
+	}
+	// Every query has drained, so a nonzero pin gauge is a pin leak.
+	if snap.CachePinnedEntries != 0 || snap.CachePinCount != 0 {
+		t.Errorf("pin leak: cache_pinned_entries = %d, cache_pin_count = %d, want 0/0",
+			snap.CachePinnedEntries, snap.CachePinCount)
+	}
 
 	// The /metrics endpoint itself serves the same snapshot as JSON.
 	resp, err := http.Get(env.ts.URL + "/metrics")
@@ -603,7 +611,8 @@ func TestConcurrentClientsEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"queries_total", "physical_scans_total", "worker_busy_percent",
-		"disk_busy_percent", "cache_hit_rate", "chunks_delivered", "queries_by_policy"} {
+		"disk_busy_percent", "cache_hit_rate", "chunks_delivered", "queries_by_policy",
+		"cache_entries", "cache_pinned_entries", "cache_pin_count"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("/metrics lacks %q", key)
 		}

@@ -1,0 +1,133 @@
+// Package testutil holds shared test-only helpers. Its centerpiece is a
+// goroutine-leak checker built on runtime.Stack snapshots: concurrency
+// suites run under a TestMain that fails the package when goroutines
+// started by tests are still alive after every test has finished. A leaked
+// pipeline goroutine is invisible to assertions and to the race detector —
+// it just keeps a worker, a buffer slot, or a cache pin alive forever.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// benignMarkers identify goroutines the runtime and the testing framework
+// own; they are never counted as leaks.
+var benignMarkers = []string{
+	"testing.(*M).",
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.runTests(",
+	"runtime.goexit",
+	"runtime.ReadTrace",
+	"runtime/pprof.",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ensureSigM",
+}
+
+// Main wraps testing.M.Run with a leak check: it snapshots the goroutines
+// alive before the tests, runs them, and fails the package if goroutines
+// created during the run outlive it. Shutdown is asynchronous everywhere in
+// the pipeline (workers drain after done closes), so stragglers get a grace
+// period to exit before they are declared leaked.
+//
+// Use from a package's TestMain:
+//
+//	func TestMain(m *testing.M) { testutil.Main(m) }
+func Main(m *testing.M) {
+	before := Snapshot()
+	code := m.Run()
+	if leaked := LeakedSince(before, 5*time.Second); len(leaked) > 0 {
+		fmt.Fprintf(os.Stderr, "testutil: %d leaked goroutine(s) after tests:\n\n%s\n",
+			len(leaked), strings.Join(leaked, "\n\n"))
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Snapshot returns the set of currently-live goroutine IDs, for a later
+// LeakedSince comparison.
+func Snapshot() map[string]bool {
+	ids := map[string]bool{}
+	for _, g := range stacks() {
+		ids[g.id] = true
+	}
+	return ids
+}
+
+// LeakedSince reports the stacks of goroutines that did not exist at the
+// snapshot, are not runtime/testing infrastructure, and are still alive
+// after polling for at most grace. The result is empty when everything
+// wound down.
+func LeakedSince(before map[string]bool, grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		leaked := leakedNow(before)
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func leakedNow(before map[string]bool) []string {
+	var leaked []string
+	for _, g := range stacks() {
+		if before[g.id] || benign(g.stack) {
+			continue
+		}
+		leaked = append(leaked, g.stack)
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+func benign(stack string) bool {
+	for _, m := range benignMarkers {
+		if strings.Contains(stack, m) {
+			return true
+		}
+	}
+	// The checker's own goroutine shows as running in this package.
+	return strings.Contains(stack, "internal/testutil.stacks")
+}
+
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// stacks parses runtime.Stack(all=true) into one record per goroutine. The
+// header line has the shape "goroutine 42 [chan receive]:".
+func stacks() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var gs []goroutine
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		stanza = strings.TrimSpace(stanza)
+		if !strings.HasPrefix(stanza, "goroutine ") {
+			continue
+		}
+		fields := strings.Fields(stanza)
+		if len(fields) < 2 {
+			continue
+		}
+		gs = append(gs, goroutine{id: fields[1], stack: stanza})
+	}
+	return gs
+}

@@ -1,0 +1,33 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLeakedSinceDetectsBlockedGoroutine(t *testing.T) {
+	before := Snapshot()
+	ch := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-ch
+		close(done)
+	}()
+
+	leaked := LeakedSince(before, 50*time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("blocked goroutine not reported as leaked")
+	}
+
+	close(ch)
+	<-done
+	if l := LeakedSince(before, 2*time.Second); len(l) != 0 {
+		t.Fatalf("goroutine reported leaked after it exited:\n%s", l[0])
+	}
+}
+
+func TestSnapshotIgnoresTestingInfrastructure(t *testing.T) {
+	if leaked := LeakedSince(Snapshot(), 0); len(leaked) != 0 {
+		t.Fatalf("quiescent process reports leaks:\n%s", leaked[0])
+	}
+}

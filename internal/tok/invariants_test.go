@@ -1,0 +1,31 @@
+//go:build invariants
+
+package tok
+
+import (
+	"testing"
+
+	"scanraw/internal/chunk"
+)
+
+// Regression: Tokenize used to drop the pooled positional map on its error
+// returns (short chunk, short row). Under the invariants build the pool
+// gauge makes the leak observable.
+func TestTokenizeErrorReleasesMap(t *testing.T) {
+	tk := &Tokenizer{Delim: ',', MinFields: 3}
+	cases := map[string]*chunk.TextChunk{
+		"data ends early": {ID: 1, Data: []byte("1,2,3\n"), Lines: 2},
+		"short row":       {ID: 2, Data: []byte("1,2,3\n4,5\n"), Lines: 2},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			base := chunk.OutstandingMaps()
+			if _, err := tk.Tokenize(c, 3); err == nil {
+				t.Fatal("malformed chunk tokenized without error")
+			}
+			if got := chunk.OutstandingMaps(); got != base {
+				t.Errorf("positional maps leaked: outstanding %d, want %d", got, base)
+			}
+		})
+	}
+}

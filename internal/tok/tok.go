@@ -59,6 +59,7 @@ func (t *Tokenizer) Tokenize(c *chunk.TextChunk, upTo int) (*chunk.PositionalMap
 	pos := 0
 	for r := 0; r < rows; r++ {
 		if pos >= len(data) {
+			chunk.PutPositionalMap(m)
 			return nil, fmt.Errorf("tok: chunk %d claims %d lines but data ends at line %d", c.ID, rows, r)
 		}
 		lineEnd := pos + lineLength(data[pos:])
@@ -76,6 +77,7 @@ func (t *Tokenizer) Tokenize(c *chunk.TextChunk, upTo int) (*chunk.PositionalMap
 				m.Ends = append(m.Ends, int32(lineEnd))
 				found++
 				if found < upTo {
+					chunk.PutPositionalMap(m)
 					return nil, fmt.Errorf("tok: chunk %d row %d has %d fields, need %d", c.ID, r, found, upTo)
 				}
 				break

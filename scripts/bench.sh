@@ -10,6 +10,18 @@
 set -e
 GO=${GO:-go}
 COUNT=${COUNT:-3}
+
+# The invariants build tag adds per-Get/Put bookkeeping (mutex-guarded
+# pointer sets) to the chunk pools, which would skew every hot-path number.
+# Benchmarks must run with the tag OFF; refuse if the caller smuggled it in
+# through GOFLAGS.
+case "${GOFLAGS:-}" in
+*invariants*)
+    echo "bench.sh: refusing to benchmark with -tags invariants (GOFLAGS=$GOFLAGS)" >&2
+    echo "bench.sh: the invariant layer's pool bookkeeping distorts ns/op" >&2
+    exit 1
+    ;;
+esac
 OUT=BENCH_pr3.json
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
