@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint invariants bench bench-compare
+.PHONY: check fmt vet build test race lint invariants fuzz bench bench-compare
 
-check: fmt vet build test race lint invariants
+check: fmt vet build test race lint invariants fuzz
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -41,6 +41,14 @@ lint:
 invariants:
 	$(GO) test -tags invariants ./internal/cache/... ./internal/chunk/... ./internal/tok/... ./internal/parse/...
 	$(GO) test -race -tags invariants ./internal/scanraw/... ./internal/server/... ./internal/engine/...
+
+# Short fuzz smoke over the decoders that parse untrusted bytes: the
+# manifest record/frame decoders (crash recovery reads whatever is on
+# disk) and the binary chunk codec. A few seconds each is enough to catch
+# structural regressions; long fuzz runs stay manual.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRecord -fuzztime=5s ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrames -fuzztime=5s ./internal/store
 
 # bench runs the benchmark suite across the hot packages and records the
 # raw output in BENCH_pr3.json (see README). bench-compare diffs the two

@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -45,6 +46,7 @@ import (
 	"scanraw/internal/scanraw"
 	"scanraw/internal/schema"
 	"scanraw/internal/server"
+	storepkg "scanraw/internal/store"
 	"scanraw/internal/vdisk"
 )
 
@@ -110,6 +112,7 @@ func main() {
 		chunkLines = flag.Int("chunk", 1<<13, "lines per chunk")
 		cacheSz    = flag.Int("cache", 32, "binary cache capacity in chunks")
 		diskMBps   = flag.Int("disk", 0, "simulated disk bandwidth in MB/s (0 = unthrottled)")
+		dataDir    = flag.String("data-dir", "", "persist loaded data and catalog under this directory (empty = in-memory only)")
 		stats      = flag.Bool("stats", true, "collect min/max statistics while converting")
 		maxConc    = flag.Int("max-concurrent", 32, "admission slots: queries in flight before 429")
 		coalesce   = flag.Duration("coalesce", 2*time.Millisecond, "coalescing window for shared scans (negative disables)")
@@ -150,8 +153,40 @@ func main() {
 		diskCfg.ReadBandwidth = int64(*diskMBps) << 20
 		diskCfg.WriteBandwidth = int64(*diskMBps) << 20
 	}
-	disk := vdisk.New(diskCfg)
-	store := dbstore.NewStore(disk)
+
+	// Storage assembly. Without -data-dir everything lives in memory (the
+	// simulated disk). With it, blobs go to fsynced files and the catalog is
+	// journaled to a manifest, so loaded chunks survive restarts; a non-zero
+	// -disk throttle wraps the file backend in the same bandwidth model.
+	var (
+		disk  storepkg.Disk
+		man   *storepkg.Manifest
+		store *dbstore.Store
+	)
+	if *dataDir == "" {
+		disk = vdisk.New(diskCfg)
+		store = dbstore.NewStore(disk)
+	} else {
+		fd, err := storepkg.OpenFileDisk(filepath.Join(*dataDir, "blobs"))
+		if err != nil {
+			log.Fatalf("scanrawd: %v", err)
+		}
+		if *diskMBps > 0 {
+			disk = vdisk.NewBacked(diskCfg, fd)
+		} else {
+			disk = fd
+		}
+		if man, err = storepkg.OpenManifest(*dataDir); err != nil {
+			log.Fatalf("scanrawd: %v", err)
+		}
+		if store, err = dbstore.OpenDurable(disk, man); err != nil {
+			log.Fatalf("scanrawd: %v", err)
+		}
+		rec := store.RecoveryStats()
+		log.Printf("recovered %d table(s) from %s: %d chunk(s) warm, %d invalidated, %d torn log byte(s), %dms",
+			rec.TablesRecovered, *dataDir, rec.ChunksRecovered, rec.ChunksInvalidated,
+			rec.Replay.TornBytes, rec.RecoveryMS)
+	}
 	srv := server.New(store, server.Config{
 		MaxConcurrent:  *maxConc,
 		CoalesceWindow: *coalesce,
@@ -183,7 +218,19 @@ func main() {
 		}
 		blob := "raw/" + name
 		disk.Preload(blob, raw)
-		table, err := store.CreateTable(name, sch, blob)
+		var table *dbstore.Table
+		if man != nil {
+			// Durable store: stage with the raw file's fingerprint so a
+			// restart keeps persisted chunks only while the file's contents
+			// are unchanged.
+			fp := storepkg.FingerprintBytes(raw)
+			if fi, err := os.Stat(path); err == nil {
+				fp.ModTimeNs = fi.ModTime().UnixNano()
+			}
+			table, err = store.EnsureTable(name, sch, blob, fp)
+		} else {
+			table, err = store.CreateTable(name, sch, blob)
+		}
 		if err != nil {
 			log.Fatalf("scanrawd: %v", err)
 		}
@@ -206,15 +253,34 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		_ = httpSrv.Shutdown(shutdownCtx)
-	}()
 	log.Printf("scanrawd listening on %s (policy %s, %d slots, %v coalescing window)",
 		*addr, policy, *maxConc, *coalesce)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("scanrawd: %v", err)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("scanrawd: %v", err)
+		}
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting connections, drain in-flight
+		// queries and background speculative writes, checkpoint the catalog,
+		// and only then close the manifest — main waits for all of it.
+		log.Printf("scanrawd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("scanrawd: http shutdown: %v", err)
+		}
+		<-serveErr
+		if err := srv.Drain(shutdownCtx); err != nil {
+			log.Printf("scanrawd: drain: %v", err)
+		}
+		if man != nil {
+			if err := man.Close(); err != nil {
+				log.Printf("scanrawd: closing manifest: %v", err)
+			}
+		}
+		log.Printf("scanrawd: shutdown complete")
 	}
 }

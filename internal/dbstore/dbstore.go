@@ -21,8 +21,19 @@ import (
 
 	"scanraw/internal/chunk"
 	"scanraw/internal/schema"
-	"scanraw/internal/vdisk"
+	"scanraw/internal/store"
 )
+
+// Journal receives a durable record for every catalog mutation. It is the
+// write-ahead half of crash safety: page blobs are written first, then the
+// metadata record is appended, so a replayed journal never references data
+// that is not on disk. *store.Manifest implements it; a nil journal (the
+// default, used by simulations and tests) makes the store purely in-memory.
+type Journal interface {
+	Append(recs ...store.Record) error
+	Checkpoint(recs []store.Record) error
+	AppendsSinceCheckpoint() int64
+}
 
 // ChunkMeta is the catalog record for one chunk of one table. The fields
 // are the statistics SCANRAW collects during conversion: where the chunk
@@ -73,10 +84,41 @@ type Table struct {
 	name    string
 	schema  *schema.Schema
 	rawFile string
+	fp      store.Fingerprint // raw file fingerprint at staging time (durable stores)
 
 	mu       sync.RWMutex
 	chunks   []*ChunkMeta
 	complete bool // true once the raw file has been fully scanned once
+
+	// journal, when non-nil, receives a record for each mutation. Appends
+	// happen after t.mu is released: the manifest serializes its own writes,
+	// and records are idempotent upserts, so replay order differing from
+	// lock-acquisition order within a chunk is harmless.
+	journal Journal
+	// ckpt is the owning store's checkpoint lock. Mutators hold it shared
+	// across the memory-update + journal-append pair so a checkpoint (which
+	// holds it exclusively) never snapshots a mutation whose record could
+	// land in the log after the snapshot but before the truncate — the one
+	// interleaving that would lose a record.
+	ckpt *sync.RWMutex
+}
+
+// journalLock enters a mutate+append critical section against checkpoints.
+// It returns the release func; a no-op when the table has no journal.
+func (t *Table) journalLock() func() {
+	if t.journal == nil || t.ckpt == nil {
+		return func() {}
+	}
+	t.ckpt.RLock()
+	return t.ckpt.RUnlock
+}
+
+// journalAppend forwards records to the table's journal, if any.
+func (t *Table) journalAppend(recs ...store.Record) error {
+	if t.journal == nil {
+		return nil
+	}
+	return t.journal.Append(recs...)
 }
 
 // Name returns the table name.
@@ -88,11 +130,27 @@ func (t *Table) Schema() *schema.Schema { return t.schema }
 // RawFile returns the disk blob name of the backing raw file.
 func (t *Table) RawFile() string { return t.rawFile }
 
+// Fingerprint returns the raw file's fingerprint recorded at staging time
+// (zero for non-durable stores).
+func (t *Table) Fingerprint() store.Fingerprint { return t.fp }
+
 // EnsureChunk records the discovery of chunk id (its tuple count and raw
 // file extent) and returns whether the chunk was new. Re-registering an
 // existing chunk with identical geometry is a no-op; conflicting geometry
 // is an error (it would mean the raw file changed underneath us).
 func (t *Table) EnsureChunk(id, rows int, rawOff, rawLen int64) error {
+	defer t.journalLock()()
+	isNew, err := t.ensureChunkLocked(id, rows, rawOff, rawLen)
+	if err != nil || !isNew {
+		return err
+	}
+	return t.journalAppend(store.Record{
+		Type: store.RecChunk, Table: t.name,
+		Chunk: id, Rows: rows, RawOff: rawOff, RawLen: rawLen,
+	})
+}
+
+func (t *Table) ensureChunkLocked(id, rows int, rawOff, rawLen int64) (isNew bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for len(t.chunks) <= id {
@@ -100,10 +158,10 @@ func (t *Table) EnsureChunk(id, rows int, rawOff, rawLen int64) error {
 	}
 	if m := t.chunks[id]; m != nil {
 		if m.Rows != rows || m.RawOff != rawOff || m.RawLen != rawLen {
-			return fmt.Errorf("dbstore: chunk %d re-registered with different geometry (%d rows @%d+%d vs %d rows @%d+%d)",
+			return false, fmt.Errorf("dbstore: chunk %d re-registered with different geometry (%d rows @%d+%d vs %d rows @%d+%d)",
 				id, rows, rawOff, rawLen, m.Rows, m.RawOff, m.RawLen)
 		}
-		return nil
+		return false, nil
 	}
 	n := t.schema.NumColumns()
 	t.chunks[id] = &ChunkMeta{
@@ -111,15 +169,21 @@ func (t *Table) EnsureChunk(id, rows int, rawOff, rawLen int64) error {
 		Stats:  make([]ColStats, n),
 		Loaded: make([]bool, n),
 	}
-	return nil
+	return true, nil
 }
 
 // SetComplete marks that the raw file has been scanned end to end, so the
 // catalog now knows every chunk boundary.
-func (t *Table) SetComplete() {
+func (t *Table) SetComplete() error {
+	defer t.journalLock()()
 	t.mu.Lock()
+	first := !t.complete
 	t.complete = true
 	t.mu.Unlock()
+	if !first {
+		return nil
+	}
+	return t.journalAppend(store.Record{Type: store.RecComplete, Table: t.name})
 }
 
 // Complete reports whether all chunk boundaries are known.
@@ -148,32 +212,46 @@ func (t *Table) Chunk(id int) (*ChunkMeta, bool) {
 
 // SetStats records conversion-time statistics for one column of one chunk.
 func (t *Table) SetStats(id, col int, s ColStats) error {
+	defer t.journalLock()()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if id < 0 || id >= len(t.chunks) || t.chunks[id] == nil {
+		t.mu.Unlock()
 		return fmt.Errorf("dbstore: SetStats on unknown chunk %d", id)
 	}
 	if col < 0 || col >= len(t.chunks[id].Stats) {
+		t.mu.Unlock()
 		return fmt.Errorf("dbstore: SetStats column %d out of range", col)
 	}
 	t.chunks[id].Stats[col] = s
-	return nil
+	t.mu.Unlock()
+	return t.journalAppend(store.Record{
+		Type: store.RecStats, Table: t.name,
+		Chunk: id, Col: col, Stats: statsToRec(s),
+	})
 }
 
-// markLoaded flags columns of a chunk as stored in the database.
+// markLoaded flags columns of a chunk as stored in the database. The journal
+// record is appended only after this point, i.e. after the page blobs are
+// already durable — the data-before-metadata ordering recovery relies on.
 func (t *Table) markLoaded(id int, cols []int) error {
+	defer t.journalLock()()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if id < 0 || id >= len(t.chunks) || t.chunks[id] == nil {
+		t.mu.Unlock()
 		return fmt.Errorf("dbstore: markLoaded on unknown chunk %d", id)
 	}
 	for _, c := range cols {
 		if c < 0 || c >= len(t.chunks[id].Loaded) {
+			t.mu.Unlock()
 			return fmt.Errorf("dbstore: markLoaded column %d out of range", c)
 		}
 		t.chunks[id].Loaded[c] = true
 	}
-	return nil
+	t.mu.Unlock()
+	return t.journalAppend(store.Record{
+		Type: store.RecLoaded, Table: t.name,
+		Chunk: id, Cols: append([]int(nil), cols...),
+	})
 }
 
 // EstimateRangeRows estimates how many tuples have column col in [lo, hi],
@@ -275,32 +353,53 @@ func (t *Table) FullyLoaded() bool {
 // Store is the database storage manager: catalog plus column pages on a
 // disk.
 type Store struct {
-	disk *vdisk.Disk
+	disk store.Disk
 
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	journal Journal
+	rec     RecoveryReport
+
+	// ckptMu orders catalog mutations against checkpoint compaction; see
+	// Table.ckpt.
+	ckptMu sync.RWMutex
 }
 
 // NewStore creates an empty store on the given disk.
-func NewStore(d *vdisk.Disk) *Store {
+func NewStore(d store.Disk) *Store {
 	return &Store{disk: d, tables: make(map[string]*Table)}
 }
 
 // Disk returns the underlying disk.
-func (s *Store) Disk() *vdisk.Disk { return s.disk }
+func (s *Store) Disk() store.Disk { return s.disk }
 
 // CreateTable registers a table linking sch to the raw file blob rawFile.
+// Durable stores journal the registration with a zero fingerprint; use
+// EnsureTable to record the raw file's fingerprint so a restart can detect
+// content changes.
 func (s *Store) CreateTable(name string, sch *schema.Schema, rawFile string) (*Table, error) {
+	return s.createTable(name, sch, rawFile, store.Fingerprint{})
+}
+
+func (s *Store) createTable(name string, sch *schema.Schema, rawFile string, fp store.Fingerprint) (*Table, error) {
 	if name == "" {
 		return nil, fmt.Errorf("dbstore: empty table name")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.tables[name]; dup {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("dbstore: table %q already exists", name)
 	}
-	t := &Table{name: name, schema: sch, rawFile: rawFile}
+	t := &Table{name: name, schema: sch, rawFile: rawFile, fp: fp, journal: s.journal, ckpt: &s.ckptMu}
 	s.tables[name] = t
+	s.mu.Unlock()
+	defer t.journalLock()()
+	if err := t.journalAppend(store.Record{
+		Type: store.RecTableCreate, Table: name,
+		RawFile: rawFile, Schema: schemaSpec(sch), Fingerprint: fp,
+	}); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -391,7 +490,10 @@ func (s *Store) WriteChunkColumns(t *Table, bc *chunk.BinaryChunk, cols []int) e
 			return fmt.Errorf("dbstore: writing chunk %d column %d: %w", bc.ID, c, err)
 		}
 	}
-	return t.markLoaded(bc.ID, cols)
+	if err := t.markLoaded(bc.ID, cols); err != nil {
+		return err
+	}
+	return s.MaybeCheckpoint()
 }
 
 // WriteChunk stores every present column of bc.

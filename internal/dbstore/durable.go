@@ -1,0 +1,329 @@
+package dbstore
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"scanraw/internal/schema"
+	"scanraw/internal/store"
+)
+
+// Durable catalog: replaying the manifest log rebuilds the Store, and every
+// subsequent mutation is journaled back to it. The recovery ordering is:
+//
+//  1. Replay the manifest (checkpoint, then log; torn tail truncated).
+//  2. Apply the records in order to an empty catalog. Records are idempotent
+//     upserts; a RecTableCreate whose schema or fingerprint differs from the
+//     live table resets the table, which is how a changed raw file discards
+//     stale persisted state mid-log.
+//  3. Verify every loaded column's page blob (existence + CRC). A missing or
+//     damaged page clears just that loaded bit — the chunk re-converts from
+//     raw on the next scan; nothing else is lost.
+//  4. Attach the journal, so new mutations append.
+//
+// Only after all four steps is the store handed to the serving layer.
+
+// checkpointThreshold is how many log records accumulate before
+// MaybeCheckpoint compacts them into the snapshot.
+const checkpointThreshold = 1024
+
+// RecoveryReport summarizes what a warm start recovered.
+type RecoveryReport struct {
+	// TablesRecovered counts tables rebuilt from the manifest.
+	TablesRecovered int
+	// ChunksRecovered counts chunks that survived with at least one loaded
+	// column — work the next scan does not redo.
+	ChunksRecovered int
+	// ChunksInvalidated counts loaded chunks dropped during recovery:
+	// damaged or missing pages, table resets from a changed raw file, or
+	// records that no longer applied.
+	ChunksInvalidated int
+	// RecoveryMS is the wall-clock duration of replay + verification.
+	RecoveryMS int64
+	// Replay echoes the manifest-level replay report (torn bytes etc.).
+	Replay store.ReplayReport
+}
+
+// OpenDurable builds a Store on disk d by replaying the manifest, verifying
+// recovered page blobs, and attaching the manifest as the store's journal.
+func OpenDurable(d store.Disk, man *store.Manifest) (*Store, error) {
+	start := time.Now()
+	s := NewStore(d)
+	recs, replayRep, err := man.Replay()
+	if err != nil {
+		return nil, fmt.Errorf("dbstore: replaying manifest: %w", err)
+	}
+	rep := RecoveryReport{Replay: replayRep}
+	for _, r := range recs {
+		s.applyRecord(r, &rep)
+	}
+	s.verifyPages(&rep)
+	rep.TablesRecovered = len(s.tables)
+	for _, t := range s.tables {
+		for _, m := range t.chunks {
+			if m != nil && m.LoadedAny() {
+				rep.ChunksRecovered++
+			}
+		}
+	}
+	rep.RecoveryMS = time.Since(start).Milliseconds()
+	s.rec = rep
+	// Attach the journal last: replay must not re-append the records it is
+	// reading.
+	s.journal = man
+	for _, t := range s.tables {
+		t.journal = man
+	}
+	return s, nil
+}
+
+// RecoveryStats returns the recovery report from OpenDurable (zero for
+// stores that did not warm-start).
+func (s *Store) RecoveryStats() RecoveryReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rec
+}
+
+// applyRecord applies one manifest record to the in-memory catalog. Records
+// that no longer apply (wrong table, out-of-range ordinals, conflicting
+// geometry) are skipped, not fatal: recovery must always produce a usable
+// catalog from any CRC-valid prefix.
+func (s *Store) applyRecord(r store.Record, rep *RecoveryReport) {
+	if r.Type == store.RecTableCreate {
+		sch, err := parseSchemaSpec(r.Schema)
+		if err != nil {
+			return
+		}
+		if t, ok := s.tables[r.Table]; ok {
+			if t.schema.Equal(sch) && t.fp.SameContent(r.Fingerprint) && t.rawFile == r.RawFile {
+				return // idempotent replay
+			}
+			// The raw file changed between the old incarnation and this
+			// record: everything persisted for the old one is stale.
+			rep.ChunksInvalidated += countLoadedChunks(t)
+			delete(s.tables, r.Table)
+		}
+		t := &Table{name: r.Table, schema: sch, rawFile: r.RawFile, fp: r.Fingerprint, ckpt: &s.ckptMu}
+		s.tables[r.Table] = t
+		return
+	}
+	t, ok := s.tables[r.Table]
+	if !ok {
+		return
+	}
+	switch r.Type {
+	case store.RecChunk:
+		if _, err := t.ensureChunkLocked(r.Chunk, r.Rows, r.RawOff, r.RawLen); err != nil {
+			rep.ChunksInvalidated++
+		}
+	case store.RecStats:
+		_ = t.SetStats(r.Chunk, r.Col, statsFromRec(r.Stats))
+	case store.RecLoaded:
+		_ = t.markLoaded(r.Chunk, r.Cols)
+	case store.RecComplete:
+		_ = t.SetComplete()
+	}
+}
+
+// verifyPages checks every loaded column's page blob and clears the loaded
+// bit for pages that are missing or fail their checksum — those columns
+// silently fall back to conversion from raw.
+func (s *Store) verifyPages(rep *RecoveryReport) {
+	for _, t := range s.tables {
+		for _, m := range t.chunks {
+			if m == nil {
+				continue
+			}
+			damaged := false
+			for c, loaded := range m.Loaded {
+				if !loaded {
+					continue
+				}
+				if !s.pageOK(t.name, m.ID, c) {
+					m.Loaded[c] = false
+					damaged = true
+				}
+			}
+			if damaged {
+				rep.ChunksInvalidated++
+			}
+		}
+	}
+}
+
+// pageOK reports whether the page blob for (table, chunk, col) exists and
+// passes its CRC.
+func (s *Store) pageOK(table string, chunkID, col int) bool {
+	p, err := s.disk.ReadBlob(pageName(table, chunkID, col))
+	if err != nil {
+		return false
+	}
+	_, err = openPage(p)
+	return err == nil
+}
+
+// countLoadedChunks counts chunks with at least one loaded column.
+func countLoadedChunks(t *Table) int {
+	n := 0
+	for _, m := range t.chunks {
+		if m != nil && m.LoadedAny() {
+			n++
+		}
+	}
+	return n
+}
+
+// EnsureTable is the durable-store entry point for staging a raw file: it
+// reuses a recovered table when the schema and raw-file fingerprint still
+// match (the warm-start path), and otherwise drops any stale persisted state
+// and registers the table fresh.
+func (s *Store) EnsureTable(name string, sch *schema.Schema, rawFile string, fp store.Fingerprint) (*Table, error) {
+	s.mu.RLock()
+	t, ok := s.tables[name]
+	s.mu.RUnlock()
+	if ok {
+		if t.schema.Equal(sch) && t.fp.SameContent(fp) && t.rawFile == rawFile {
+			return t, nil
+		}
+		s.mu.Lock()
+		s.rec.ChunksInvalidated += countLoadedChunks(t)
+		s.mu.Unlock()
+		s.DropTable(name)
+	}
+	return s.createTable(name, sch, rawFile, fp)
+}
+
+// Checkpoint compacts the journal: it snapshots the whole catalog as records
+// and asks the journal to atomically replace its checkpoint with them. Held
+// exclusively against every mutate+append pair (Table.ckpt), so the snapshot
+// is guaranteed to cover every record the truncation discards.
+func (s *Store) Checkpoint() error {
+	s.mu.RLock()
+	j := s.journal
+	s.mu.RUnlock()
+	if j == nil {
+		return nil
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return j.Checkpoint(s.snapshotRecords())
+}
+
+// MaybeCheckpoint compacts when the journal has accumulated enough records
+// since the last checkpoint. Called from the chunk-write path so compaction
+// cost amortizes over conversion work.
+func (s *Store) MaybeCheckpoint() error {
+	s.mu.RLock()
+	j := s.journal
+	s.mu.RUnlock()
+	if j == nil || j.AppendsSinceCheckpoint() < checkpointThreshold {
+		return nil
+	}
+	return s.Checkpoint()
+}
+
+// snapshotRecords serializes the entire catalog as an idempotent record
+// sequence — replaying it from scratch reproduces the catalog.
+func (s *Store) snapshotRecords() []store.Record {
+	var recs []store.Record
+	for _, t := range s.Tables() {
+		t.mu.RLock()
+		recs = append(recs, store.Record{
+			Type: store.RecTableCreate, Table: t.name,
+			RawFile: t.rawFile, Schema: schemaSpec(t.schema), Fingerprint: t.fp,
+		})
+		for _, m := range t.chunks {
+			if m == nil {
+				continue
+			}
+			recs = append(recs, store.Record{
+				Type: store.RecChunk, Table: t.name,
+				Chunk: m.ID, Rows: m.Rows, RawOff: m.RawOff, RawLen: m.RawLen,
+			})
+			for c, st := range m.Stats {
+				if st.Valid {
+					recs = append(recs, store.Record{
+						Type: store.RecStats, Table: t.name,
+						Chunk: m.ID, Col: c, Stats: statsToRec(st),
+					})
+				}
+			}
+			var loaded []int
+			for c, l := range m.Loaded {
+				if l {
+					loaded = append(loaded, c)
+				}
+			}
+			if len(loaded) > 0 {
+				recs = append(recs, store.Record{
+					Type: store.RecLoaded, Table: t.name,
+					Chunk: m.ID, Cols: loaded,
+				})
+			}
+		}
+		if t.complete {
+			recs = append(recs, store.Record{Type: store.RecComplete, Table: t.name})
+		}
+		t.mu.RUnlock()
+	}
+	return recs
+}
+
+// schemaSpec renders a schema as the "name:type,..." specification stored in
+// RecTableCreate records.
+func schemaSpec(sch *schema.Schema) string {
+	var b strings.Builder
+	for i, c := range sch.Columns() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(':')
+		b.WriteString(c.Type.String())
+	}
+	return b.String()
+}
+
+// parseSchemaSpec inverts schemaSpec.
+func parseSchemaSpec(spec string) (*schema.Schema, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("dbstore: empty schema specification")
+	}
+	var cols []schema.Column
+	for _, part := range strings.Split(spec, ",") {
+		name, typ, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("dbstore: bad schema column %q", part)
+		}
+		ty, err := schema.ParseType(typ)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, schema.Column{Name: name, Type: ty})
+	}
+	return schema.New(cols...)
+}
+
+// statsToRec converts catalog statistics to their serialized form.
+func statsToRec(s ColStats) store.ColStatsRec {
+	return store.ColStatsRec{
+		Valid: s.Valid, Type: uint8(s.Type),
+		MinInt: s.MinInt, MaxInt: s.MaxInt,
+		MinFloat: s.MinFloat, MaxFloat: s.MaxFloat,
+		MinStr: s.MinStr, MaxStr: s.MaxStr,
+		Rows: s.Rows, Distinct: s.Distinct,
+	}
+}
+
+// statsFromRec inverts statsToRec.
+func statsFromRec(r store.ColStatsRec) ColStats {
+	return ColStats{
+		Valid: r.Valid, Type: schema.Type(r.Type),
+		MinInt: r.MinInt, MaxInt: r.MaxInt,
+		MinFloat: r.MinFloat, MaxFloat: r.MaxFloat,
+		MinStr: r.MinStr, MaxStr: r.MaxStr,
+		Rows: r.Rows, Distinct: r.Distinct,
+	}
+}

@@ -38,6 +38,13 @@ func (b *BusyCounter) Track(fn func()) {
 // Total returns cumulative busy time.
 func (b *BusyCounter) Total() time.Duration { return time.Duration(b.ns.Load()) }
 
+// DiskStats is the slice of a disk the samplers need: a cumulative activity
+// snapshot. Both the simulated *vdisk.Disk and the durable file-backed
+// store satisfy it.
+type DiskStats interface {
+	Stats() vdisk.Stats
+}
+
 // Sample is one utilization measurement.
 type Sample struct {
 	// At is the elapsed time since the trace started.
@@ -56,7 +63,7 @@ type Sample struct {
 
 // Tracer periodically samples a disk and a busy counter.
 type Tracer struct {
-	disk     *vdisk.Disk
+	disk     DiskStats
 	cpu      *BusyCounter
 	interval time.Duration
 	progress func() float64
@@ -68,7 +75,7 @@ type Tracer struct {
 }
 
 // NewTracer builds a tracer sampling every interval. progress may be nil.
-func NewTracer(d *vdisk.Disk, cpu *BusyCounter, interval time.Duration, progress func() float64) *Tracer {
+func NewTracer(d DiskStats, cpu *BusyCounter, interval time.Duration, progress func() float64) *Tracer {
 	if progress == nil {
 		progress = func() float64 { return 0 }
 	}
@@ -136,7 +143,7 @@ func (t *Tracer) Stop() []Sample {
 // The CPU source is a function rather than a single BusyCounter because a
 // server aggregates worker-busy time across every live operator's pool.
 type Meter struct {
-	disk *vdisk.Disk
+	disk DiskStats
 	cpu  func() time.Duration // cumulative worker-busy time
 
 	mu       sync.Mutex
@@ -148,7 +155,7 @@ type Meter struct {
 
 // NewMeter builds a meter over a disk and a cumulative worker-busy-time
 // source. The first Sample call reports utilization since construction.
-func NewMeter(d *vdisk.Disk, cpu func() time.Duration) *Meter {
+func NewMeter(d DiskStats, cpu func() time.Duration) *Meter {
 	now := time.Now()
 	return &Meter{
 		disk:     d,

@@ -1,0 +1,166 @@
+package scanraw
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/gen"
+	storepkg "scanraw/internal/store"
+)
+
+// openDurableEnv assembles the storage stack scanrawd uses with -data-dir —
+// file-backed blobs plus a journaled catalog — and stages the generated CSV
+// the same way the daemon does at startup. Reopening on the same dir is a
+// warm start: the catalog is rebuilt from the manifest before EnsureTable
+// runs.
+func openDurableEnv(t *testing.T, dir string, spec gen.CSVSpec) (*testEnv, *storepkg.Manifest) {
+	t.Helper()
+	fd, err := storepkg.OpenFileDisk(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := storepkg.OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := dbstore.OpenDurable(fd, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := gen.Bytes(spec)
+	fd.Preload("raw/data.csv", raw)
+	table, err := store.EnsureTable("data", spec.Schema(), "raw/data.csv", storepkg.FingerprintBytes(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{store: store, table: table, spec: spec}, man
+}
+
+// TestDurableKillAndRestart is the acceptance scenario for the durable
+// store: convert with speculative loading, die without a checkpoint (the
+// manifest journal is all that survives, as after SIGKILL), restart on the
+// same directory, and verify the second process serves from the database —
+// strictly fewer raw conversions — with byte-identical results.
+func TestDurableKillAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := gen.CSVSpec{Rows: 512, Cols: 4, Seed: 42, MaxValue: 1000}
+
+	env, man := openDurableEnv(t, dir, spec)
+	op := New(env.store, env.table, Config{
+		Workers: 2, ChunkLines: 64, Policy: Speculative, Safeguard: true,
+		CacheChunks: 4, CollectStats: true,
+	})
+	coldSum, coldStats := sumViaOperator(t, op, env)
+	if coldSum != wantSum(env) {
+		t.Fatalf("cold sum = %d, want %d", coldSum, wantSum(env))
+	}
+	if coldStats.DeliveredRaw == 0 {
+		t.Fatal("cold run should convert from raw")
+	}
+	// Let the safeguard flush land its pages, then crash: no Checkpoint, no
+	// graceful drain — recovery must come from the journal alone.
+	op.WaitIdle()
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	env2, man2 := openDurableEnv(t, dir, spec)
+	defer man2.Close()
+	rec := env2.store.RecoveryStats()
+	if rec.ChunksRecovered == 0 {
+		t.Fatal("restart recovered no chunks")
+	}
+	if rec.ChunksInvalidated != 0 {
+		t.Errorf("clean restart invalidated %d chunks", rec.ChunksInvalidated)
+	}
+	if !env2.table.Complete() {
+		t.Error("recovered table lost chunk-discovery completeness")
+	}
+	op2 := New(env2.store, env2.table, Config{
+		Workers: 2, ChunkLines: 64, Policy: Speculative, Safeguard: true,
+		CacheChunks: 4, CollectStats: true,
+	})
+	warmSum, warmStats := sumViaOperator(t, op2, env2)
+	if warmSum != coldSum {
+		t.Errorf("warm sum = %d, cold sum = %d", warmSum, coldSum)
+	}
+	if warmStats.DeliveredRaw >= coldStats.DeliveredRaw {
+		t.Errorf("warm run read %d chunks from raw, cold read %d: restart gained nothing",
+			warmStats.DeliveredRaw, coldStats.DeliveredRaw)
+	}
+	if warmStats.DeliveredDB == 0 {
+		t.Error("warm run served nothing from the database")
+	}
+	op2.WaitIdle()
+}
+
+// TestDurableCorruptPageReconverts flips a byte in one persisted page blob
+// and restarts: recovery must invalidate exactly the damaged chunk's column
+// (never panic, never serve the bad bytes) and the next query silently
+// re-converts that chunk from the raw file with a correct result.
+func TestDurableCorruptPageReconverts(t *testing.T) {
+	dir := t.TempDir()
+	spec := gen.CSVSpec{Rows: 512, Cols: 4, Seed: 7, MaxValue: 1000}
+
+	env, man := openDurableEnv(t, dir, spec)
+	op := New(env.store, env.table, Config{
+		Workers: 2, ChunkLines: 64, Policy: Speculative, Safeguard: true,
+		CacheChunks: 4, CollectStats: true,
+	})
+	coldSum, _ := sumViaOperator(t, op, env)
+	if coldSum != wantSum(env) {
+		t.Fatalf("cold sum = %d, want %d", coldSum, wantSum(env))
+	}
+	op.WaitIdle()
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one page blob on disk (anything under blobs/db is a page).
+	var pages []string
+	err := filepath.Walk(filepath.Join(dir, "blobs", "db"), func(path string, fi os.FileInfo, err error) error {
+		if err == nil && !fi.IsDir() {
+			pages = append(pages, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) == 0 {
+		t.Fatal("no persisted pages found")
+	}
+	victim := pages[len(pages)/2]
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	env2, man2 := openDurableEnv(t, dir, spec)
+	defer man2.Close()
+	rec := env2.store.RecoveryStats()
+	if rec.ChunksInvalidated == 0 {
+		t.Fatal("corrupt page was not invalidated during recovery")
+	}
+	op2 := New(env2.store, env2.table, Config{
+		Workers: 2, ChunkLines: 64, Policy: Speculative, Safeguard: true,
+		CacheChunks: 4, CollectStats: true,
+	})
+	warmSum, warmStats := sumViaOperator(t, op2, env2)
+	if warmSum != coldSum {
+		t.Errorf("sum after re-conversion = %d, want %d", warmSum, coldSum)
+	}
+	if warmStats.DeliveredRaw == 0 {
+		t.Error("damaged chunk should have been re-converted from raw")
+	}
+	if warmStats.DeliveredDB == 0 {
+		t.Error("undamaged chunks should still come from the database")
+	}
+	op2.WaitIdle()
+}

@@ -596,8 +596,7 @@ func (r *run) readLoop(delivered map[int]bool) error {
 		off += int64(len(data))
 		id++
 	}
-	o.table.SetComplete()
-	return nil
+	return o.table.SetComplete()
 }
 
 // sendText places a text chunk into the text chunks buffer, recording the
@@ -807,11 +806,22 @@ func (r *run) parseTask(item posItem, slot *workerSlot) {
 // recycle is safe because eviction implies zero pins, and every consumer of
 // a cached chunk — delivery, write queue, safeguard flush, speculative
 // scheduler — holds a pin for the duration of its use.
+//
+// Speculative loading with the safeguard gets the same write-before-drop:
+// the safeguard promises that conversion work done during a run is never
+// redone (§4's zero-cost guarantee), but it can only flush what is still
+// cached at end of run. Eviction normally prefers loaded victims, so
+// unloaded chunks survive to the flush — except when every loaded entry is
+// momentarily pinned mid-delivery and an unloaded chunk is the only
+// evictable entry. Dropping it there would silently discard the conversion;
+// writing it first keeps the guarantee unconditional.
 func (r *run) retireEvicted(evicted *BinaryChunk, evictedLoaded bool) error {
 	if evicted == nil {
 		return nil
 	}
-	if r.op.cfg.Policy == BufferedLoad && !evictedLoaded {
+	mustWrite := r.op.cfg.Policy == BufferedLoad ||
+		(r.op.cfg.Policy == Speculative && r.op.cfg.Safeguard)
+	if mustWrite && !evictedLoaded {
 		if err := r.runWrite(evicted); err != nil {
 			return err
 		}

@@ -35,8 +35,8 @@ import (
 	"scanraw/internal/dbstore"
 	"scanraw/internal/metrics"
 	"scanraw/internal/parse"
+	storepkg "scanraw/internal/store"
 	"scanraw/internal/tok"
-	"scanraw/internal/vdisk"
 )
 
 // WritePolicy selects the scheduler's WRITE behaviour (§3.1: "The
@@ -309,7 +309,7 @@ type Operator struct {
 
 	store  *dbstore.Store
 	table  *dbstore.Table
-	disk   *vdisk.Disk
+	disk   storepkg.Disk
 	tk     tok.Tokenizer
 	parser parse.Parser
 	cache  *cache.Cache

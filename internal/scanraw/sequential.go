@@ -93,8 +93,7 @@ func (o *Operator) runSequential(ctx context.Context, req Request, del *delivere
 		}
 		id++
 	}
-	o.table.SetComplete()
-	return r, nil
+	return r, o.table.SetComplete()
 }
 
 // insertAndDeliver places a converted (or database-read) chunk into the

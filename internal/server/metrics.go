@@ -106,6 +106,13 @@ type MetricsSnapshot struct {
 	QueriesByPolicy map[string]int64 `json:"queries_by_policy"`
 	Tables          int              `json:"tables"`
 	LiveOperators   int              `json:"live_operators"`
+
+	// Warm-start recovery gauges (zero on a cold start or a non-durable
+	// store): chunks whose persisted pages survived verification, chunks
+	// dropped during recovery, and how long replay + verification took.
+	StoreChunksRecovered   int   `json:"store_chunks_recovered"`
+	StoreChunksInvalidated int   `json:"store_chunks_invalidated"`
+	StoreRecoveryMS        int64 `json:"store_recovery_ms"`
 }
 
 // MetricsSnapshot assembles the live metrics report. Utilization covers
@@ -146,6 +153,10 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		QueriesByPolicy: make(map[string]int64),
 		LiveOperators:   s.reg.Len(),
 	}
+	rec := s.store.RecoveryStats()
+	snap.StoreChunksRecovered = rec.ChunksRecovered
+	snap.StoreChunksInvalidated = rec.ChunksInvalidated
+	snap.StoreRecoveryMS = rec.RecoveryMS
 	cs := s.reg.CacheStats()
 	snap.CacheEntries = cs.Entries
 	snap.CachePinnedEntries = cs.PinnedEntries

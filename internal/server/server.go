@@ -120,6 +120,41 @@ func New(store *dbstore.Store, cfg Config) *Server {
 // state through it).
 func (s *Server) Registry() *scanraw.Registry { return s.reg }
 
+// Drain quiesces the server for shutdown: it claims every admission slot
+// (blocking until in-flight queries finish, while new arrivals are shed with
+// 429), waits out each operator's background safeguard flush so speculative
+// writes complete, and compacts the catalog journal into a checkpoint. The
+// slots are never released — a drained server stays drained. ctx bounds the
+// wait; on expiry the checkpoint still runs so whatever has finished is
+// compacted, and the context error is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	var ctxErr error
+slots:
+	for i := 0; i < s.cfg.MaxConcurrent; i++ {
+		select {
+		case s.slots <- struct{}{}:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break slots
+		}
+	}
+	s.mu.RLock()
+	entries := make([]*tableEntry, 0, len(s.tables))
+	for _, e := range s.tables {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	for _, e := range entries {
+		if op, ok := s.reg.Lookup(e.table.RawFile()); ok {
+			op.WaitIdle()
+		}
+	}
+	if err := s.store.Checkpoint(); err != nil {
+		return err
+	}
+	return ctxErr
+}
+
 // AddTable registers a table for serving with the given operator
 // configuration.
 func (s *Server) AddTable(t *dbstore.Table, opCfg scanraw.Config) error {

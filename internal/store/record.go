@@ -1,0 +1,367 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Manifest records. Every catalog mutation the database performs —
+// discovering a chunk's geometry, collecting its statistics, loading its
+// columns, finishing a discovery scan — is one record appended to the
+// manifest log. Replaying the records in order rebuilds the catalog, and
+// because each record is an idempotent upsert, replaying a record whose
+// effect is already present (as happens when a crash lands between
+// checkpoint compaction steps) is harmless.
+
+// RecType identifies a manifest record's kind.
+type RecType uint8
+
+const (
+	// RecTableCreate registers a table: name, raw-file blob, schema
+	// specification, and the raw file's fingerprint at staging time.
+	// Replaying it over an existing table with the same schema and
+	// fingerprint is a no-op; a differing fingerprint or schema resets the
+	// table (the raw file changed underneath the persisted state).
+	RecTableCreate RecType = iota + 1
+	// RecChunk records the discovery of one chunk's geometry.
+	RecChunk
+	// RecStats records conversion-time statistics for one column of one
+	// chunk.
+	RecStats
+	// RecLoaded records that the listed columns of a chunk were stored as
+	// page blobs. It is appended only after the pages are durably written,
+	// preserving the data-before-metadata ordering recovery relies on.
+	RecLoaded
+	// RecComplete records that the raw file has been scanned end to end.
+	RecComplete
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecTableCreate:
+		return "table-create"
+	case RecChunk:
+		return "chunk"
+	case RecStats:
+		return "stats"
+	case RecLoaded:
+		return "loaded"
+	case RecComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("RecType(%d)", uint8(t))
+	}
+}
+
+// ColStatsRec is the serialized form of per-column chunk statistics. The
+// field set mirrors dbstore.ColStats without importing it (store sits below
+// dbstore in the dependency order).
+type ColStatsRec struct {
+	Valid    bool
+	Type     uint8
+	MinInt   int64
+	MaxInt   int64
+	MinFloat float64
+	MaxFloat float64
+	MinStr   string
+	MaxStr   string
+	Rows     int64
+	Distinct int64
+}
+
+// Record is one manifest entry. Only the fields relevant to Type are
+// encoded; the rest stay zero.
+type Record struct {
+	Type  RecType
+	Table string
+
+	// RecTableCreate
+	RawFile     string
+	Schema      string // "name:type,..." specification
+	Fingerprint Fingerprint
+
+	// RecChunk / RecStats / RecLoaded
+	Chunk  int
+	Rows   int
+	RawOff int64
+	RawLen int64
+
+	// RecLoaded
+	Cols []int
+
+	// RecStats
+	Col   int
+	Stats ColStatsRec
+}
+
+// Encoding limits: a decoded field exceeding these is corruption, not data.
+const (
+	maxRecordLen = 1 << 20
+	maxStringLen = 1 << 18
+	maxCols      = 1 << 14
+	maxChunkID   = 1 << 30
+)
+
+// recEncoder builds a record payload with varint scalars and
+// length-prefixed strings.
+type recEncoder struct{ buf []byte }
+
+func (e *recEncoder) u8(v uint8)    { e.buf = append(e.buf, v) }
+func (e *recEncoder) uvar(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *recEncoder) ivar(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *recEncoder) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+func (e *recEncoder) str(s string) {
+	e.uvar(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// recDecoder parses a record payload, accumulating the first error.
+type recDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *recDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *recDecoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("store: record truncated")
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *recDecoder) uvar() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("store: bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *recDecoder) ivar() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("store: bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *recDecoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("store: record truncated in float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *recDecoder) str() string {
+	n := d.uvar()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		d.fail("store: string length %d exceeds limit", n)
+		return ""
+	}
+	if d.off+int(n) > len(d.buf) {
+		d.fail("store: record truncated in string")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// count decodes a non-negative bounded integer (chunk IDs, row counts).
+func (d *recDecoder) count(limit uint64, what string) int {
+	v := d.uvar()
+	if d.err == nil && v > limit {
+		d.fail("store: %s %d exceeds limit %d", what, v, limit)
+	}
+	return int(v)
+}
+
+// EncodeRecord serializes a record payload (without framing).
+func EncodeRecord(r Record) []byte {
+	e := &recEncoder{buf: make([]byte, 0, 64)}
+	e.u8(uint8(r.Type))
+	e.str(r.Table)
+	switch r.Type {
+	case RecTableCreate:
+		e.str(r.RawFile)
+		e.str(r.Schema)
+		e.ivar(r.Fingerprint.Size)
+		e.uvar(uint64(r.Fingerprint.CRC))
+		e.ivar(r.Fingerprint.ModTimeNs)
+	case RecChunk:
+		e.uvar(uint64(r.Chunk))
+		e.uvar(uint64(r.Rows))
+		e.ivar(r.RawOff)
+		e.ivar(r.RawLen)
+	case RecStats:
+		e.uvar(uint64(r.Chunk))
+		e.uvar(uint64(r.Col))
+		s := r.Stats
+		valid := uint8(0)
+		if s.Valid {
+			valid = 1
+		}
+		e.u8(valid)
+		e.u8(s.Type)
+		e.ivar(s.MinInt)
+		e.ivar(s.MaxInt)
+		e.f64(s.MinFloat)
+		e.f64(s.MaxFloat)
+		e.str(s.MinStr)
+		e.str(s.MaxStr)
+		e.ivar(s.Rows)
+		e.ivar(s.Distinct)
+	case RecLoaded:
+		e.uvar(uint64(r.Chunk))
+		e.uvar(uint64(len(r.Cols)))
+		for _, c := range r.Cols {
+			e.uvar(uint64(c))
+		}
+	case RecComplete:
+	default:
+		panic(fmt.Sprintf("store: cannot encode record type %v", r.Type))
+	}
+	return e.buf
+}
+
+// DecodeRecord parses a record payload. It is total: any input either
+// yields a valid record or an error, never a panic, and trailing bytes
+// beyond the record are rejected (a frame holds exactly one record).
+func DecodeRecord(p []byte) (Record, error) {
+	d := &recDecoder{buf: p}
+	r := Record{Type: RecType(d.u8())}
+	r.Table = d.str()
+	switch r.Type {
+	case RecTableCreate:
+		r.RawFile = d.str()
+		r.Schema = d.str()
+		r.Fingerprint.Size = d.ivar()
+		r.Fingerprint.CRC = uint32(d.count(math.MaxUint32, "fingerprint crc"))
+		r.Fingerprint.ModTimeNs = d.ivar()
+	case RecChunk:
+		r.Chunk = d.count(maxChunkID, "chunk id")
+		r.Rows = d.count(maxChunkID, "row count")
+		r.RawOff = d.ivar()
+		r.RawLen = d.ivar()
+	case RecStats:
+		r.Chunk = d.count(maxChunkID, "chunk id")
+		r.Col = d.count(maxCols, "column")
+		r.Stats.Valid = d.u8() != 0
+		r.Stats.Type = d.u8()
+		r.Stats.MinInt = d.ivar()
+		r.Stats.MaxInt = d.ivar()
+		r.Stats.MinFloat = d.f64()
+		r.Stats.MaxFloat = d.f64()
+		r.Stats.MinStr = d.str()
+		r.Stats.MaxStr = d.str()
+		r.Stats.Rows = d.ivar()
+		r.Stats.Distinct = d.ivar()
+	case RecLoaded:
+		r.Chunk = d.count(maxChunkID, "chunk id")
+		n := d.count(maxCols, "column count")
+		if d.err == nil && n > 0 {
+			r.Cols = make([]int, 0, min(n, 64))
+			for i := 0; i < n && d.err == nil; i++ {
+				r.Cols = append(r.Cols, d.count(maxCols, "column"))
+			}
+		}
+	case RecComplete:
+	default:
+		return Record{}, fmt.Errorf("store: unknown record type %d", uint8(r.Type))
+	}
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	if d.off != len(p) {
+		return Record{}, fmt.Errorf("store: %d trailing bytes after %v record", len(p)-d.off, r.Type)
+	}
+	return r, nil
+}
+
+// Record framing: every record in a manifest file is
+//
+//	uint32 LE  payload length
+//	uint32 LE  CRC32-C of the payload
+//	payload
+//
+// The checksum localizes damage: a torn or bit-flipped record invalidates
+// itself and everything after it (the replay cannot trust record boundaries
+// past a bad frame), never anything before it.
+
+const frameHeader = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed record payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// decodeFrames parses a sequence of framed records, stopping at the first
+// damaged frame. It returns the decoded records, the byte length of the
+// valid prefix, and whether a damaged suffix was found.
+func decodeFrames(p []byte) (recs []Record, validLen int, torn bool) {
+	off := 0
+	for {
+		if off == len(p) {
+			return recs, off, false
+		}
+		if len(p)-off < frameHeader {
+			return recs, off, true
+		}
+		n := int(binary.LittleEndian.Uint32(p[off:]))
+		want := binary.LittleEndian.Uint32(p[off+4:])
+		if n > maxRecordLen || len(p)-off-frameHeader < n {
+			return recs, off, true
+		}
+		payload := p[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != want {
+			return recs, off, true
+		}
+		r, err := DecodeRecord(payload)
+		if err != nil {
+			return recs, off, true
+		}
+		recs = append(recs, r)
+		off += frameHeader + n
+	}
+}

@@ -19,7 +19,6 @@ package vdisk
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,18 +84,36 @@ func (s Stats) Sub(o Stats) Stats {
 // error aborts the operation before any data is transferred.
 type FailFunc func(op, name string) error
 
-// Disk is a simulated single-volume storage device. All methods are safe
+// Backend is the blob-storage layer a Disk throttles. The default is the
+// in-memory Mem store; a durable file-backed store (internal/store's
+// FileDisk) plugs in the same way, which is how experiments keep the
+// deterministic bandwidth model while the data underneath survives
+// restarts.
+type Backend interface {
+	Create(name string)
+	Delete(name string)
+	Exists(name string) bool
+	Size(name string) (int64, error)
+	List(prefix string) []string
+	Preload(name string, p []byte)
+	WriteBlob(name string, p []byte) error
+	Append(name string, p []byte) (int64, error)
+	ReadAt(name string, p []byte, off int64) (int, error)
+}
+
+// Disk is a simulated single-volume storage device: a bandwidth-throttling,
+// busy-time-accounting wrapper around a blob Backend. All methods are safe
 // for concurrent use; data transfers are serialized so that concurrent
 // readers and writers interfere exactly as they would on one spindle.
 type Disk struct {
-	cfg Config
+	cfg     Config
+	backend Backend
 
 	io   sync.Mutex    // serializes (and paces) data transfers
 	debt time.Duration // un-slept transfer time, guarded by io
 
-	mu    sync.Mutex // guards blobs and fail
-	blobs map[string][]byte
-	fail  FailFunc
+	mu   sync.Mutex // guards fail
+	fail FailFunc
 
 	readOps    atomic.Int64
 	writeOps   atomic.Int64
@@ -106,9 +123,15 @@ type Disk struct {
 	writeBusy  atomic.Int64
 }
 
-// New creates an empty disk with the given performance model.
+// New creates an empty in-memory disk with the given performance model.
 func New(cfg Config) *Disk {
-	return &Disk{cfg: cfg, blobs: make(map[string][]byte)}
+	return NewBacked(cfg, NewMem())
+}
+
+// NewBacked creates a disk with the given performance model over an
+// arbitrary blob backend.
+func NewBacked(cfg Config, b Backend) *Disk {
+	return &Disk{cfg: cfg, backend: b}
 }
 
 // Unlimited creates a disk with no throttling, useful for unit tests where
@@ -172,60 +195,24 @@ func (d *Disk) occupy(delay time.Duration, busy *atomic.Int64) {
 
 // Create creates an empty blob, truncating any existing blob with the same
 // name. Creation is a metadata operation and is not throttled.
-func (d *Disk) Create(name string) {
-	d.mu.Lock()
-	d.blobs[name] = nil
-	d.mu.Unlock()
-}
+func (d *Disk) Create(name string) { d.backend.Create(name) }
 
 // Delete removes a blob. Deleting a missing blob is a no-op.
-func (d *Disk) Delete(name string) {
-	d.mu.Lock()
-	delete(d.blobs, name)
-	d.mu.Unlock()
-}
+func (d *Disk) Delete(name string) { d.backend.Delete(name) }
 
 // Exists reports whether the named blob exists.
-func (d *Disk) Exists(name string) bool {
-	d.mu.Lock()
-	_, ok := d.blobs[name]
-	d.mu.Unlock()
-	return ok
-}
+func (d *Disk) Exists(name string) bool { return d.backend.Exists(name) }
 
 // Size returns the length of the named blob.
-func (d *Disk) Size(name string) (int64, error) {
-	d.mu.Lock()
-	b, ok := d.blobs[name]
-	d.mu.Unlock()
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
-	}
-	return int64(len(b)), nil
-}
+func (d *Disk) Size(name string) (int64, error) { return d.backend.Size(name) }
 
 // List returns the names of all blobs with the given prefix, sorted.
-func (d *Disk) List(prefix string) []string {
-	d.mu.Lock()
-	names := make([]string, 0, len(d.blobs))
-	for n := range d.blobs {
-		if len(n) >= len(prefix) && n[:len(prefix)] == prefix {
-			names = append(names, n)
-		}
-	}
-	d.mu.Unlock()
-	sort.Strings(names)
-	return names
-}
+func (d *Disk) List(prefix string) []string { return d.backend.List(prefix) }
 
 // Preload installs a blob without throttling or accounting. It exists for
 // experiment setup: materializing a raw file onto the disk must not consume
 // the bandwidth budget the experiment is about to measure.
-func (d *Disk) Preload(name string, p []byte) {
-	d.mu.Lock()
-	d.blobs[name] = append([]byte(nil), p...)
-	d.mu.Unlock()
-}
+func (d *Disk) Preload(name string, p []byte) { d.backend.Preload(name, p) }
 
 // WriteBlob replaces the named blob's contents in one throttled write.
 // The blob is created if it does not exist.
@@ -234,9 +221,9 @@ func (d *Disk) WriteBlob(name string, p []byte) error {
 		return err
 	}
 	d.occupy(transferDelay(len(p), d.cfg.WriteBandwidth, d.cfg.SeekLatency), &d.writeBusy)
-	d.mu.Lock()
-	d.blobs[name] = append([]byte(nil), p...)
-	d.mu.Unlock()
+	if err := d.backend.WriteBlob(name, p); err != nil {
+		return err
+	}
 	d.writeOps.Add(1)
 	d.writeBytes.Add(int64(len(p)))
 	return nil
@@ -249,10 +236,10 @@ func (d *Disk) Append(name string, p []byte) (int64, error) {
 		return 0, err
 	}
 	d.occupy(transferDelay(len(p), d.cfg.WriteBandwidth, d.cfg.SeekLatency), &d.writeBusy)
-	d.mu.Lock()
-	off := int64(len(d.blobs[name]))
-	d.blobs[name] = append(d.blobs[name], p...)
-	d.mu.Unlock()
+	off, err := d.backend.Append(name, p)
+	if err != nil {
+		return 0, err
+	}
 	d.writeOps.Add(1)
 	d.writeBytes.Add(int64(len(p)))
 	return off, nil
@@ -266,19 +253,10 @@ func (d *Disk) ReadAt(name string, p []byte, off int64) (int, error) {
 	if err := d.checkFail("read", name); err != nil {
 		return 0, err
 	}
-	d.mu.Lock()
-	b, ok := d.blobs[name]
-	d.mu.Unlock()
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+	n, err := d.backend.ReadAt(name, p, off)
+	if err != nil {
+		return n, err
 	}
-	if off < 0 {
-		return 0, fmt.Errorf("vdisk: negative offset %d reading %s", off, name)
-	}
-	if off >= int64(len(b)) {
-		return 0, nil
-	}
-	n := copy(p, b[off:])
 	d.occupy(transferDelay(n, d.cfg.ReadBandwidth, d.cfg.SeekLatency), &d.readBusyNs)
 	d.readOps.Add(1)
 	d.readBytes.Add(int64(n))
