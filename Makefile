@@ -23,10 +23,11 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages additionally run under the race
-# detector: the operator pipeline/registry, the query server, and the
-# engine (parallel partial executors + differential test).
+# detector: the operator pipeline/registry, the query server, the engine
+# (parallel partial executors + differential test), and the cluster layer
+# (coordinator fan-out + distributed differential test).
 race:
-	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/...
+	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/...
 
 # Project-specific static analysis (pin balance, pool pairing, goroutine
 # exits, context threading, channel ops under locks). Stdlib-only; see
@@ -40,15 +41,19 @@ lint:
 # packages rerun without it.
 invariants:
 	$(GO) test -tags invariants ./internal/cache/... ./internal/chunk/... ./internal/tok/... ./internal/parse/...
-	$(GO) test -race -tags invariants ./internal/scanraw/... ./internal/server/... ./internal/engine/...
+	$(GO) test -race -tags invariants ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/...
 
 # Short fuzz smoke over the decoders that parse untrusted bytes: the
 # manifest record/frame decoders (crash recovery reads whatever is on
-# disk) and the binary chunk codec. A few seconds each is enough to catch
-# structural regressions; long fuzz runs stay manual.
+# disk), the binary chunk codec, and the network-facing cluster decoders
+# (serialized engine partials and frame payloads arrive over TCP). A few
+# seconds each is enough to catch structural regressions; long fuzz runs
+# stay manual.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRecord -fuzztime=5s ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrames -fuzztime=5s ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzDecodePartial -fuzztime=5s ./internal/engine
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameMessage -fuzztime=5s ./internal/cluster
 
 # bench runs the benchmark suite across the hot packages and records the
 # raw output in BENCH_pr3.json (see README). bench-compare diffs the two

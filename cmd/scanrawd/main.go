@@ -21,10 +21,21 @@
 //	               add ?stream=ndjson for newline-delimited row streaming
 //	GET  /metrics  live worker/disk utilization + serving counters
 //	GET  /tables   catalog and loading progress per table
+//	GET  /healthz  liveness + readiness (503 while draining)
+//	POST /exec     coordinator-assigned shard execution (binary frames)
 //
 // Queries against the same file arriving within the coalescing window
 // (-coalesce) share one physical scan. Queries beyond -max-concurrent are
 // rejected with 429. Client disconnects and timeouts cancel the pipeline.
+//
+// With -coordinator the daemon serves no local data: it scatters each
+// /query to the workers named in the -fleet config (each owning a chunk
+// range of every table), merges their partial results through the engine
+// merge tree, and degrades gracefully — per-peer timeouts, one bounded
+// retry round with replica failover, and explicit partial results when a
+// shard has no live peer. The coordinator exposes the same /query wire
+// as a single scanrawd plus GET /fleet; see DESIGN.md §11 and
+// examples/fleet.
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"scanraw/internal/cluster"
 	"scanraw/internal/dbstore"
 	"scanraw/internal/sam"
 	"scanraw/internal/scanraw"
@@ -98,6 +110,76 @@ func splitNamed(v string) (name, value string) {
 	return "data", v
 }
 
+// runCoordinator serves the scatter-gather front end: no local tables,
+// queries fan out to the fleet's workers and merge through the engine.
+// The fleet description comes from -fleet (and is recorded alongside the
+// durable catalog when -data-dir is set) or, on restart, from the record
+// a previous run saved.
+func runCoordinator(addr, fleetFile, dataDir string, cfg cluster.Config) {
+	var store *dbstore.Store
+	if dataDir != "" {
+		fd, err := storepkg.OpenFileDisk(filepath.Join(dataDir, "blobs"))
+		if err != nil {
+			log.Fatalf("scanrawd: %v", err)
+		}
+		store = dbstore.NewStore(fd)
+	}
+	var data []byte
+	switch {
+	case fleetFile != "":
+		raw, err := os.ReadFile(fleetFile)
+		if err != nil {
+			log.Fatalf("scanrawd: %v", err)
+		}
+		data = raw
+	case store != nil:
+		raw, ok, err := store.LoadFleetConfig()
+		if err != nil {
+			log.Fatalf("scanrawd: %v", err)
+		}
+		if !ok {
+			log.Fatalf("scanrawd: -coordinator needs -fleet (no recorded fleet config under %s)", dataDir)
+		}
+		log.Printf("fleet config recovered from %s", dataDir)
+		data = raw
+	default:
+		log.Fatalf("scanrawd: -coordinator needs -fleet <config.json>")
+	}
+	fleet, err := cluster.ParseFleet(data)
+	if err != nil {
+		log.Fatalf("scanrawd: %v", err)
+	}
+	if store != nil && fleetFile != "" {
+		if err := store.SaveFleetConfig(data); err != nil {
+			log.Fatalf("scanrawd: recording fleet config: %v", err)
+		}
+	}
+	co := cluster.NewCoordinator(fleet, cfg)
+	defer co.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: co.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("scanrawd coordinating %d peer(s), %d table(s) on %s",
+		len(fleet.PeerAddrs()), len(fleet.Tables()), addr)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("scanrawd: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("scanrawd: coordinator shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("scanrawd: http shutdown: %v", err)
+		}
+		<-serveErr
+	}
+}
+
 func main() {
 	var (
 		files      multiFlag
@@ -117,6 +199,12 @@ func main() {
 		maxConc    = flag.Int("max-concurrent", 32, "admission slots: queries in flight before 429")
 		coalesce   = flag.Duration("coalesce", 2*time.Millisecond, "coalescing window for shared scans (negative disables)")
 		timeout    = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
+
+		coordinator  = flag.Bool("coordinator", false, "run as fleet coordinator: scatter queries to workers, merge partials (no local data)")
+		fleetFile    = flag.String("fleet", "", "fleet config JSON (peers + table ownership); with -data-dir it is recorded durably and becomes optional on restart")
+		peerTimeout  = flag.Duration("peer-timeout", 30*time.Second, "coordinator: per-peer exec attempt deadline")
+		retryBackoff = flag.Duration("retry-backoff", 50*time.Millisecond, "coordinator: backoff before a shard retry")
+		healthEvery  = flag.Duration("health-interval", 2*time.Second, "coordinator: /healthz probe period (negative disables)")
 	)
 	flag.Var(&files, "file", "raw file to serve, as path or name=path (repeatable)")
 	flag.Var(&schemas, "schema", "schema as 'name:type,...' or table=spec (repeatable)")
@@ -124,6 +212,15 @@ func main() {
 	flag.Var(&samTables, "sam", "table name using the SAM schema + tab delimiter (repeatable)")
 	flag.Parse()
 
+	if *coordinator {
+		runCoordinator(*addr, *fleetFile, *dataDir, cluster.Config{
+			PeerTimeout:    *peerTimeout,
+			RetryBackoff:   *retryBackoff,
+			HealthInterval: *healthEvery,
+			DefaultTimeout: *timeout,
+		})
+		return
+	}
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: scanrawd -file <raw file> -schema <spec> [-addr :8080] ...")
 		flag.PrintDefaults()

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ExecRequest is the POST /exec body a coordinator sends to a worker: the
+// query plus the shard to execute it over. The worker restricts its scan
+// to local chunks [Lo,Hi) and reports chunk provenance shifted by Base
+// into the global chunk-ID space.
+type ExecRequest struct {
+	SQL  string `json:"sql"`
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`   // 0 = to end of the worker's file
+	Base int    `json:"base"` // global chunk ID of the worker's chunk 0
+	// Mode selects the stream shape: "rows" (incremental MsgRows frames,
+	// for streamed LIMIT queries) or "partial" (one MsgPartial frame at
+	// end of scan, for everything else).
+	Mode string `json:"mode"`
+	// TimeoutMS bounds the worker-side execution; zero uses the worker's
+	// default.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// Exec stream modes.
+const (
+	ModeRows    = "rows"
+	ModePartial = "partial"
+)
+
+// PeerError is a failed peer interaction, annotated with enough context
+// for the coordinator's retry policy.
+type PeerError struct {
+	Addr   string
+	Status int // HTTP status when the request failed before streaming, else 0
+	Err    error
+}
+
+func (e *PeerError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("peer %s: http %d: %v", e.Addr, e.Status, e.Err)
+	}
+	return fmt.Sprintf("peer %s: %v", e.Addr, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// Retryable reports whether another attempt (same peer or a replica)
+// could succeed: transport failures, torn streams, shedding (429), and
+// server-side trouble are retryable; a query rejection (4xx other than
+// 429) is deterministic and is not.
+func (e *PeerError) Retryable() bool {
+	switch {
+	case e.Status == http.StatusTooManyRequests:
+		return true
+	case e.Status >= 500:
+		return true
+	case e.Status >= 400:
+		return false
+	default:
+		return true // transport error or torn stream
+	}
+}
+
+// Client is the coordinator's HTTP client for worker peers.
+type Client struct {
+	hc *http.Client
+}
+
+// NewClient builds a peer client. The per-request deadline comes from the
+// caller's context, not a transport-level timeout, so a streamed LIMIT
+// query can legitimately hold a connection while rows trickle. The client
+// owns its transport (not http.DefaultTransport) so Close can reap idle
+// peer connections.
+func NewClient() *Client {
+	return &Client{hc: &http.Client{Transport: &http.Transport{}}}
+}
+
+// Close reaps idle peer connections.
+func (c *Client) Close() {
+	if t, ok := c.hc.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// peerURL normalizes an address from the fleet config into a base URL.
+func peerURL(addr, path string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimSuffix(addr, "/") + path
+}
+
+// Exec runs one shard execution against a peer, invoking onMsg for every
+// frame up to (not including) MsgEnd. A stream that ends without MsgEnd,
+// fails its checksum, or carries MsgError returns an error; onMsg
+// returning an error aborts the stream (the body is closed, cancelling
+// the worker-side scan through the connection).
+func (c *Client) Exec(ctx context.Context, addr string, er ExecRequest, onMsg func(*Message) error) error {
+	body, err := json.Marshal(er)
+	if err != nil {
+		return &PeerError{Addr: addr, Err: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peerURL(addr, "/exec"), bytes.NewReader(body))
+	if err != nil {
+		return &PeerError{Addr: addr, Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return &PeerError{Addr: addr, Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		var er errorBody
+		if json.Unmarshal(msg, &er) == nil && er.Error != "" {
+			return &PeerError{Addr: addr, Status: resp.StatusCode, Err: fmt.Errorf("%s", er.Error)}
+		}
+		return &PeerError{Addr: addr, Status: resp.StatusCode, Err: fmt.Errorf("%s", strings.TrimSpace(string(msg)))}
+	}
+	fr := NewFrameReader(resp.Body)
+	for {
+		m, err := fr.Next()
+		if err != nil {
+			if err == io.EOF {
+				return &PeerError{Addr: addr, Err: fmt.Errorf("stream ended without MsgEnd")}
+			}
+			return &PeerError{Addr: addr, Err: err}
+		}
+		switch m.Type {
+		case MsgEnd:
+			return nil
+		case MsgError:
+			return &PeerError{Addr: addr, Err: fmt.Errorf("remote execution failed: %s", m.Err)}
+		default:
+			if err := onMsg(m); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Health is the GET /healthz report of one peer.
+type Health struct {
+	OK       bool
+	Draining bool
+}
+
+// CheckHealth probes a peer's /healthz.
+func (c *Client) CheckHealth(ctx context.Context, addr string) Health {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peerURL(addr, "/healthz"), nil)
+	if err != nil {
+		return Health{}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return Health{}
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return Health{OK: true}
+	case http.StatusServiceUnavailable:
+		return Health{Draining: true}
+	default:
+		return Health{}
+	}
+}

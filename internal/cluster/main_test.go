@@ -1,0 +1,12 @@
+package cluster
+
+import (
+	"testing"
+
+	"scanraw/internal/testutil"
+)
+
+// TestMain fails the package when a test leaves goroutines — coordinator
+// health probers, shard fetchers, worker-side scan pipelines — running
+// after it returns. See internal/testutil.
+func TestMain(m *testing.M) { testutil.Main(m) }

@@ -547,3 +547,34 @@ func (s *Store) Scan(t *Table, cols []int, fn func(*chunk.BinaryChunk) error) er
 	}
 	return nil
 }
+
+// Fleet configuration persistence. A coordinator records its fleet
+// description (peer addresses and table→chunk-range ownership) alongside
+// the durable catalog, so a restart serves the same fleet without the
+// config file. The blob is checksummed like database pages: a torn or
+// corrupted fleet record must fail loudly, not route queries wrong.
+
+// fleetBlob is the durable fleet-config location on the store's disk.
+const fleetBlob = "db/_fleet"
+
+// SaveFleetConfig durably records the serialized fleet configuration.
+func (s *Store) SaveFleetConfig(data []byte) error {
+	return s.disk.WriteBlob(fleetBlob, sealPage(data))
+}
+
+// LoadFleetConfig returns the recorded fleet configuration, or ok=false
+// when none was ever saved. A corrupted record is an error.
+func (s *Store) LoadFleetConfig() (data []byte, ok bool, err error) {
+	if !s.disk.Exists(fleetBlob) {
+		return nil, false, nil
+	}
+	p, err := s.disk.ReadBlob(fleetBlob)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err = openPage(p)
+	if err != nil {
+		return nil, false, fmt.Errorf("dbstore: fleet config: %v", err)
+	}
+	return data, true, nil
+}

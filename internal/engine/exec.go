@@ -275,6 +275,16 @@ func (e *Executor) Result() (*Result, error) {
 	return e.p.Result()
 }
 
+// Finish returns the executor's single partial without materializing the
+// result, mirroring ParallelExecutor.Finish: fleet workers ship the raw
+// partial state over the wire instead of finalizing it locally.
+func (e *Executor) Finish() ([]*Partial, error) {
+	if e.p.done {
+		return nil, fmt.Errorf("engine: Finish after Result")
+	}
+	return []*Partial{e.p}, nil
+}
+
 func valueAt(v *chunk.Vector, i int) Value {
 	switch v.Type {
 	case schema.Int64:

@@ -1,0 +1,424 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"scanraw/internal/schema"
+)
+
+// Wire codec for Partial: the serialized form a fleet worker ships to the
+// coordinator, which decodes it into a partial bound to its own parsed
+// query and folds it through the ordinary Merge path. The merge tree does
+// not care whether partials arrive from goroutines or from the network —
+// this file is the boundary that makes the latter possible.
+//
+// The payload is versioned (leading byte) and self-describing enough to be
+// total on decode: any byte slice either yields a valid partial for the
+// given query or an error, never a panic. Integrity (CRC) and length
+// framing live one layer up, in internal/cluster, mirroring how the store
+// frames manifest records.
+//
+// Chunk provenance is rebased on encode: the worker's local chunk IDs are
+// shifted by the owning range's global base so that canonical row order —
+// (ORDER BY keys, chunk ID, row ordinal) — is a fleet-wide total order and
+// distributed results stay byte-identical to single-process execution.
+
+// wireVersion is the current Partial payload version.
+const wireVersion = 1
+
+// Partial payload kinds: the decoder checks the kind against the query
+// shape, so a payload cannot smuggle, say, a row buffer into an aggregate
+// merge.
+const (
+	wireKindRows   = 0 // unbounded row buffer (no LIMIT)
+	wireKindTop    = 1 // top-k heap (LIMIT, with or without ORDER BY)
+	wireKindGroups = 2 // aggregation hash table
+)
+
+// Decode limits: a decoded count beyond these is corruption, not data.
+const (
+	maxWireRows    = 1 << 22
+	maxWireGroups  = 1 << 22
+	maxWireCols    = 1 << 14
+	maxWireChunkID = 1 << 30
+	maxWireStrLen  = 1 << 18
+)
+
+// wireEncoder builds a payload with varint scalars and length-prefixed
+// strings (the store's manifest-record idiom).
+type wireEncoder struct{ buf []byte }
+
+func (e *wireEncoder) u8(v uint8)    { e.buf = append(e.buf, v) }
+func (e *wireEncoder) uvar(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *wireEncoder) ivar(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *wireEncoder) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+func (e *wireEncoder) str(s string) {
+	e.uvar(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// wireDecoder parses a payload, accumulating the first error.
+type wireDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *wireDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *wireDecoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("engine: partial payload truncated")
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *wireDecoder) uvar() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("engine: bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *wireDecoder) ivar() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("engine: bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *wireDecoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("engine: partial payload truncated in float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *wireDecoder) str() string {
+	n := d.uvar()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxWireStrLen {
+		d.fail("engine: string length %d exceeds limit", n)
+		return ""
+	}
+	if d.off+int(n) > len(d.buf) {
+		d.fail("engine: partial payload truncated in string")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// count decodes a non-negative bounded integer.
+func (d *wireDecoder) count(limit uint64, what string) int {
+	v := d.uvar()
+	if d.err == nil && v > limit {
+		d.fail("engine: %s %d exceeds limit %d", what, v, limit)
+	}
+	return int(v)
+}
+
+// Value tags on the wire.
+const (
+	wireValInt   = 0
+	wireValFloat = 1
+	wireValStr   = 2
+)
+
+func (e *wireEncoder) value(v Value) error {
+	switch v.Typ {
+	case schema.Int64:
+		e.u8(wireValInt)
+		e.ivar(v.Int)
+	case schema.Float64:
+		e.u8(wireValFloat)
+		e.f64(v.Float)
+	case schema.Str:
+		e.u8(wireValStr)
+		e.str(v.Str)
+	default:
+		return fmt.Errorf("engine: cannot encode value of type %v", v.Typ)
+	}
+	return nil
+}
+
+func (d *wireDecoder) value() Value {
+	switch tag := d.u8(); tag {
+	case wireValInt:
+		return Value{Typ: schema.Int64, Int: d.ivar()}
+	case wireValFloat:
+		return Value{Typ: schema.Float64, Float: d.f64()}
+	case wireValStr:
+		return Value{Typ: schema.Str, Str: d.str()}
+	default:
+		d.fail("engine: unknown value tag %d", tag)
+		return Value{}
+	}
+}
+
+func (e *wireEncoder) prow(pr *prow, chunkBase int) error {
+	e.uvar(uint64(pr.chunk + chunkBase))
+	e.uvar(uint64(pr.row))
+	e.uvar(uint64(len(pr.vals)))
+	for _, v := range pr.vals {
+		if err := e.value(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *wireDecoder) prow(wantVals int) prow {
+	pr := prow{
+		chunk: d.count(maxWireChunkID, "chunk id"),
+		row:   d.count(maxWireChunkID, "row ordinal"),
+	}
+	n := d.count(maxWireCols, "value count")
+	if d.err != nil {
+		return pr
+	}
+	if n != wantVals {
+		d.fail("engine: row carries %d values, query selects %d", n, wantVals)
+		return pr
+	}
+	pr.vals = make([]Value, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		pr.vals[i] = d.value()
+	}
+	return pr
+}
+
+func (e *wireEncoder) aggState(st *aggState) {
+	e.ivar(st.count)
+	e.ivar(st.sumInt)
+	e.f64(st.sumFloat)
+	e.ivar(st.minI)
+	e.ivar(st.maxI)
+	e.f64(st.minF)
+	e.f64(st.maxF)
+	e.str(st.minS)
+	e.str(st.maxS)
+	if st.seen {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (d *wireDecoder) aggState() aggState {
+	return aggState{
+		count:    d.ivar(),
+		sumInt:   d.ivar(),
+		sumFloat: d.f64(),
+		minI:     d.ivar(),
+		maxI:     d.ivar(),
+		minF:     d.f64(),
+		maxF:     d.f64(),
+		minS:     d.str(),
+		maxS:     d.str(),
+		seen:     d.u8() != 0,
+	}
+}
+
+// EncodePartial serializes p's accumulated state. chunkBase shifts every
+// buffered row's chunk provenance into the fleet-global chunk ID space —
+// the worker executed over local chunk IDs starting at its range's lower
+// bound, and the coordinator needs the global IDs for the canonical order.
+// Aggregate state carries no provenance, so chunkBase is irrelevant there.
+// The partial is not consumed and stays usable.
+func EncodePartial(p *Partial, chunkBase int) ([]byte, error) {
+	if p.done {
+		return nil, fmt.Errorf("engine: EncodePartial after Result")
+	}
+	if chunkBase < 0 {
+		return nil, fmt.Errorf("engine: negative chunk base %d", chunkBase)
+	}
+	e := &wireEncoder{buf: make([]byte, 0, 256)}
+	e.u8(wireVersion)
+	switch {
+	case p.groups != nil:
+		e.u8(wireKindGroups)
+		keys := make([]string, 0, len(p.groups))
+		for k := range p.groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.uvar(uint64(len(keys)))
+		for _, k := range keys {
+			g := p.groups[k]
+			e.str(k)
+			e.uvar(uint64(len(g.keys)))
+			for _, kv := range g.keys {
+				if err := e.value(kv); err != nil {
+					return nil, err
+				}
+			}
+			e.uvar(uint64(len(g.aggs)))
+			for i := range g.aggs {
+				e.aggState(&g.aggs[i])
+			}
+		}
+	case p.top != nil:
+		e.u8(wireKindTop)
+		e.uvar(uint64(len(p.top.entries)))
+		for i := range p.top.entries {
+			if err := e.prow(&p.top.entries[i], chunkBase); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		e.u8(wireKindRows)
+		e.uvar(uint64(len(p.rows)))
+		for i := range p.rows {
+			if err := e.prow(&p.rows[i], chunkBase); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+// DecodePartial parses a serialized partial into a fresh Partial bound to
+// q and sch — the coordinator's own parsed query, so the result merges
+// with partials from every other peer (Merge requires pointer-identical
+// queries). Decoding is total: arbitrary input yields a partial or an
+// error, never a panic, and trailing bytes are rejected.
+func DecodePartial(q *Query, sch *schema.Schema, data []byte) (*Partial, error) {
+	p, err := NewPartial(q, sch)
+	if err != nil {
+		return nil, err
+	}
+	d := &wireDecoder{buf: data}
+	if v := d.u8(); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("engine: unsupported partial version %d", v)
+	}
+	kind := d.u8()
+	if d.err != nil {
+		return nil, d.err
+	}
+	switch kind {
+	case wireKindGroups:
+		if p.groups == nil {
+			return nil, fmt.Errorf("engine: aggregate payload for a non-aggregate query")
+		}
+		n := d.count(maxWireGroups, "group count")
+		var prevKey string
+		for i := 0; i < n && d.err == nil; i++ {
+			key := d.str()
+			if d.err == nil && i > 0 && key <= prevKey {
+				d.fail("engine: group keys not strictly ascending")
+				break
+			}
+			prevKey = key
+			nk := d.count(maxWireCols, "group key count")
+			if d.err == nil && nk != len(q.GroupBy) {
+				d.fail("engine: group carries %d keys, query groups by %d", nk, len(q.GroupBy))
+				break
+			}
+			g := &group{aggs: make([]aggState, 0, len(q.Items))}
+			if nk > 0 {
+				g.keys = make([]Value, nk)
+				for j := 0; j < nk && d.err == nil; j++ {
+					g.keys[j] = d.value()
+				}
+			}
+			na := d.count(maxWireCols, "aggregate count")
+			if d.err == nil && na != len(q.Items) {
+				d.fail("engine: group carries %d aggregates, query selects %d", na, len(q.Items))
+				break
+			}
+			for j := 0; j < na && d.err == nil; j++ {
+				g.aggs = append(g.aggs, d.aggState())
+			}
+			if d.err == nil {
+				p.groups[key] = g
+			}
+		}
+	case wireKindTop:
+		if p.top == nil {
+			return nil, fmt.Errorf("engine: top-k payload for a query without LIMIT")
+		}
+		n := d.count(maxWireRows, "row count")
+		if d.err == nil && n > q.Limit {
+			d.fail("engine: top-k payload holds %d rows, LIMIT is %d", n, q.Limit)
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			pr := d.prow(len(q.Items))
+			if d.err == nil {
+				p.top.push(pr)
+			}
+		}
+	case wireKindRows:
+		if p.groups != nil || p.top != nil {
+			return nil, fmt.Errorf("engine: row-buffer payload does not match query shape")
+		}
+		n := d.count(maxWireRows, "row count")
+		for i := 0; i < n && d.err == nil; i++ {
+			pr := d.prow(len(q.Items))
+			if d.err == nil {
+				p.rows = append(p.rows, pr)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown partial kind %d", kind)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("engine: %d trailing bytes after partial payload", len(data)-d.off)
+	}
+	return p, nil
+}
+
+// MergePartials folds a slice of partials (all bound to the same query)
+// into the first one and returns it. It is the coordinator's gather step:
+// decode one partial per peer, merge in assignment order, finalize once.
+func MergePartials(parts []*Partial) (*Partial, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("engine: no partials to merge")
+	}
+	root := parts[0]
+	for _, p := range parts[1:] {
+		if err := root.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	return root, nil
+}

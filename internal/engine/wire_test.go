@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/schema"
+)
+
+func wireSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustNew(
+		schema.Column{Name: "c0", Type: schema.Int64},
+		schema.Column{Name: "c1", Type: schema.Int64},
+		schema.Column{Name: "c2", Type: schema.Str},
+	)
+}
+
+// wireChunk builds a binary chunk with deterministic pseudo-random data.
+func wireChunk(t *testing.T, sch *schema.Schema, id, rows int, rng *rand.Rand) *chunk.BinaryChunk {
+	t.Helper()
+	bc := chunk.NewBinary(sch, id, rows)
+	for c := 0; c < sch.NumColumns(); c++ {
+		v := &chunk.Vector{Type: sch.Column(c).Type}
+		for r := 0; r < rows; r++ {
+			switch v.Type {
+			case schema.Int64:
+				v.Ints = append(v.Ints, int64(rng.Intn(500)))
+			case schema.Float64:
+				v.Floats = append(v.Floats, float64(rng.Intn(500)))
+			default:
+				v.Strs = append(v.Strs, fmt.Sprintf("s%03d", rng.Intn(500)))
+			}
+		}
+		if err := bc.SetColumn(c, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bc
+}
+
+// reID returns a shallow copy of bc with a different chunk ID — the shape
+// of a worker executing with local IDs over a globally-offset range.
+func reID(t *testing.T, sch *schema.Schema, bc *chunk.BinaryChunk, id int) *chunk.BinaryChunk {
+	t.Helper()
+	out := chunk.NewBinary(sch, id, bc.Rows)
+	for c := 0; c < sch.NumColumns(); c++ {
+		if bc.Has(c) {
+			if err := out.SetColumn(c, bc.Column(c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return out
+}
+
+// feedPartial consumes n chunks into a fresh partial for q.
+func feedPartial(t *testing.T, q *Query, sch *schema.Schema, chunks []*chunk.BinaryChunk) *Partial {
+	t.Helper()
+	p, err := NewPartial(q, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bc := range chunks {
+		if err := p.Consume(bc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// TestPartialWireRoundTrip: encode → decode → Result must equal the
+// original partial's Result, for every query shape the codec carries, and
+// the decoded partial must merge with a locally-built one.
+func TestPartialWireRoundTrip(t *testing.T) {
+	sch := wireSchema(t)
+	rng := rand.New(rand.NewSource(7))
+	chunks := []*chunk.BinaryChunk{
+		wireChunk(t, sch, 0, 40, rng),
+		wireChunk(t, sch, 1, 40, rng),
+		wireChunk(t, sch, 2, 17, rng),
+	}
+	queries := []string{
+		"SELECT c0, c2 FROM data",
+		"SELECT c0 FROM data WHERE c1 > 250",
+		"SELECT c0, c1 FROM data LIMIT 9",
+		"SELECT c0, c1 FROM data ORDER BY c0 DESC LIMIT 7",
+		"SELECT SUM(c0), COUNT(*), MIN(c1), MAX(c2), AVG(c0) FROM data",
+		"SELECT c2, SUM(c0), COUNT(*) FROM data GROUP BY c2",
+		"SELECT c1, MIN(c0) FROM data GROUP BY c1 ORDER BY c1 LIMIT 11",
+	}
+	for _, sql := range queries {
+		q, err := ParseSQL(sql, sch)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		orig := feedPartial(t, q, sch, chunks)
+		data, err := EncodePartial(orig, 0)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", sql, err)
+		}
+		decoded, err := DecodePartial(q, sch, data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", sql, err)
+		}
+		want, err := orig.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decoded.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Errorf("%s: round-trip mismatch\nwant %v\ngot  %v", sql, want, got)
+		}
+	}
+}
+
+// TestPartialWireMergeEqualsSerial: splitting the chunks across two
+// partials, shipping one over the wire, and merging must match feeding
+// every chunk through one partial serially.
+func TestPartialWireMergeEqualsSerial(t *testing.T) {
+	sch := wireSchema(t)
+	queries := []string{
+		"SELECT c0, c2 FROM data WHERE c0 > 100",
+		"SELECT c0 FROM data ORDER BY c0 LIMIT 10",
+		"SELECT c2, SUM(c1), AVG(c0), COUNT(*) FROM data GROUP BY c2",
+		"SELECT SUM(c0), MIN(c2), MAX(c1) FROM data",
+	}
+	for _, sql := range queries {
+		rng := rand.New(rand.NewSource(11))
+		chunks := []*chunk.BinaryChunk{
+			wireChunk(t, sch, 0, 30, rng),
+			wireChunk(t, sch, 1, 30, rng),
+			wireChunk(t, sch, 2, 30, rng),
+			wireChunk(t, sch, 3, 5, rng),
+		}
+		q, err := ParseSQL(sql, sch)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		serial := feedPartial(t, q, sch, chunks)
+		want, err := serial.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		local := feedPartial(t, q, sch, chunks[:2])
+		// The remote half executes with local chunk IDs 0..1 and global
+		// base 2, as a worker owning range [2,4) would.
+		remoteChunks := []*chunk.BinaryChunk{
+			reID(t, sch, chunks[2], 0),
+			reID(t, sch, chunks[3], 1),
+		}
+		remote := feedPartial(t, q, sch, remoteChunks)
+		data, err := EncodePartial(remote, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shipped, err := DecodePartial(q, sch, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := MergePartials([]*Partial{local, shipped})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := merged.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Errorf("%s: distributed merge mismatch\nwant %v\ngot  %v", sql, want, got)
+		}
+	}
+}
+
+// TestPartialWireShapeMismatch: a payload of one kind must not decode
+// against a query of another shape.
+func TestPartialWireShapeMismatch(t *testing.T) {
+	sch := wireSchema(t)
+	rng := rand.New(rand.NewSource(3))
+	chunks := []*chunk.BinaryChunk{wireChunk(t, sch, 0, 10, rng)}
+	rowsQ, _ := ParseSQL("SELECT c0 FROM data", sch)
+	aggQ, _ := ParseSQL("SELECT SUM(c0) FROM data", sch)
+	limitQ, _ := ParseSQL("SELECT c0 FROM data LIMIT 3", sch)
+
+	rowsPayload, err := EncodePartial(feedPartial(t, rowsQ, sch, chunks), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePartial(aggQ, sch, rowsPayload); err == nil {
+		t.Error("row payload decoded against aggregate query")
+	}
+	if _, err := DecodePartial(limitQ, sch, rowsPayload); err == nil {
+		t.Error("row payload decoded against LIMIT query")
+	}
+	aggPayload, err := EncodePartial(feedPartial(t, aggQ, sch, chunks), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePartial(rowsQ, sch, aggPayload); err == nil {
+		t.Error("aggregate payload decoded against row query")
+	}
+}
+
+// TestPartialWireRejectsCorruption: truncations and bit flips must error,
+// never panic, and trailing bytes are rejected.
+func TestPartialWireRejectsCorruption(t *testing.T) {
+	sch := wireSchema(t)
+	rng := rand.New(rand.NewSource(5))
+	chunks := []*chunk.BinaryChunk{wireChunk(t, sch, 0, 25, rng)}
+	for _, sql := range []string{
+		"SELECT c0, c2 FROM data",
+		"SELECT c2, SUM(c0) FROM data GROUP BY c2",
+		"SELECT c0 FROM data ORDER BY c0 LIMIT 5",
+	} {
+		q, _ := ParseSQL(sql, sch)
+		data, err := EncodePartial(feedPartial(t, q, sch, chunks), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(data); cut += 3 {
+			if _, err := DecodePartial(q, sch, data[:cut]); err == nil && cut < len(data) {
+				t.Errorf("%s: truncation at %d decoded", sql, cut)
+			}
+		}
+		if _, err := DecodePartial(q, sch, append(bytes.Clone(data), 0)); err == nil {
+			t.Errorf("%s: trailing byte accepted", sql)
+		}
+		bad := bytes.Clone(data)
+		bad[0] ^= 0xff // version
+		if _, err := DecodePartial(q, sch, bad); err == nil {
+			t.Errorf("%s: wrong version accepted", sql)
+		}
+	}
+}
+
+// FuzzDecodePartial asserts decode totality: arbitrary bytes never panic,
+// and valid decodes re-encode to a payload that decodes again.
+func FuzzDecodePartial(f *testing.F) {
+	sch := schema.MustNew(
+		schema.Column{Name: "c0", Type: schema.Int64},
+		schema.Column{Name: "c1", Type: schema.Int64},
+		schema.Column{Name: "c2", Type: schema.Str},
+	)
+	seedQueries := []string{
+		"SELECT c0, c2 FROM data",
+		"SELECT c0 FROM data LIMIT 4",
+		"SELECT c2, SUM(c0), COUNT(*) FROM data GROUP BY c2",
+	}
+	rng := rand.New(rand.NewSource(1))
+	var bcs []*chunk.BinaryChunk
+	for id := 0; id < 2; id++ {
+		bc := chunk.NewBinary(sch, id, 8)
+		for c := 0; c < 3; c++ {
+			v := &chunk.Vector{Type: sch.Column(c).Type}
+			for r := 0; r < 8; r++ {
+				if v.Type == schema.Str {
+					v.Strs = append(v.Strs, fmt.Sprintf("k%d", rng.Intn(9)))
+				} else {
+					v.Ints = append(v.Ints, int64(rng.Intn(90)))
+				}
+			}
+			if err := bc.SetColumn(c, v); err != nil {
+				f.Fatal(err)
+			}
+		}
+		bcs = append(bcs, bc)
+	}
+	for qi, sql := range seedQueries {
+		q, err := ParseSQL(sql, sch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		p, err := NewPartial(q, sch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, bc := range bcs {
+			if err := p.Consume(bc); err != nil {
+				f.Fatal(err)
+			}
+		}
+		data, err := EncodePartial(p, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(qi, data)
+	}
+	f.Fuzz(func(t *testing.T, qi int, data []byte) {
+		sql := seedQueries[((qi%len(seedQueries))+len(seedQueries))%len(seedQueries)]
+		q, err := ParseSQL(sql, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := DecodePartial(q, sch, data)
+		if err != nil {
+			return
+		}
+		re, err := EncodePartial(p, 0)
+		if err != nil {
+			t.Fatalf("valid decode failed to re-encode: %v", err)
+		}
+		if _, err := DecodePartial(q, sch, re); err != nil {
+			t.Fatalf("re-encoded payload failed to decode: %v", err)
+		}
+	})
+}

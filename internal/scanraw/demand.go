@@ -117,6 +117,18 @@ func NewDemand(q *engine.Query, src boundSource) *Demand {
 	return &Demand{bound: src, keyItem: k.Column, keyCol: col.Idx, desc: k.Desc}
 }
 
+// NewDemandFrom is NewDemand for a range-restricted scan: the LIMIT
+// frontier starts at startChunk because chunks below the range never
+// arrive — they belong to other peers (or other requests) — and the
+// canonical order within the range still begins at its lower bound.
+func NewDemandFrom(q *engine.Query, src boundSource, startChunk int) *Demand {
+	d := NewDemand(q, src)
+	if d != nil && d.tracker != nil && startChunk > 0 {
+		d.tracker.frontier = startChunk
+	}
+	return d
+}
+
 // SatisfiedFn returns the Request.Satisfied callback, or nil when the query
 // has no whole-scan termination signal (the ORDER BY shape only prunes).
 func (d *Demand) SatisfiedFn() func() bool {

@@ -180,6 +180,14 @@ func validateRequest(req Request, ncols int) error {
 			return fmt.Errorf("scanraw: column ordinal %d out of range [0,%d)", c, ncols)
 		}
 	}
+	if req.Range != nil {
+		if req.Range.Lo < 0 {
+			return fmt.Errorf("scanraw: chunk range lower bound %d is negative", req.Range.Lo)
+		}
+		if req.Range.Hi > 0 && req.Range.Hi <= req.Range.Lo {
+			return fmt.Errorf("scanraw: chunk range [%d,%d) is empty", req.Range.Lo, req.Range.Hi)
+		}
+	}
 	return nil
 }
 
@@ -233,6 +241,9 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 			_ = del.close()
 			st.Duration = time.Since(start)
 			return st, err
+		}
+		if !req.Range.Contains(id) {
+			continue
 		}
 		bc := o.cache.Acquire(id)
 		if bc == nil {
@@ -297,9 +308,22 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 		st.ReadBlocked = r.blocked.total()
 	}
 	if err == nil && sat() {
-		// Demand-driven termination accounting: chunks the file holds that
-		// this run neither delivered nor skipped were saved outright.
-		saved := o.table.NumChunks() - st.Delivered() - st.SkippedChunks
+		// Demand-driven termination accounting, clamped to the request's
+		// chunk range: chunks outside the range were never wanted by this
+		// request, so terminating early cannot have "saved" them.
+		known := o.table.NumChunks()
+		lo, hi := 0, known
+		if req.Range != nil {
+			if req.Range.Lo < known {
+				lo = req.Range.Lo
+			} else {
+				lo = known
+			}
+			if req.Range.Hi > 0 && req.Range.Hi < known {
+				hi = req.Range.Hi
+			}
+		}
+		saved := (hi - lo) - st.Delivered() - st.SkippedChunks
 		if saved < 0 {
 			saved = 0
 		}
@@ -521,10 +545,18 @@ func (r *run) readLoop(delivered map[int]bool) error {
 			// SetComplete — the file was not scanned to the end.
 			return nil
 		}
+		if rng := r.req.Range; rng != nil && rng.Hi > 0 && id >= rng.Hi {
+			// Range exhausted: everything past Hi belongs to other
+			// requests (or other peers). No SetComplete — the file was not
+			// scanned to the end.
+			return nil
+		}
 		meta, known := o.table.Chunk(id)
 		if known {
 			next := off + meta.RawLen
 			switch {
+			case !r.req.Range.Contains(id):
+				// Below the range: jump the extent without reading it.
 			case delivered[id]:
 				// Already served from the cache in phase 1.
 			case r.req.Skip != nil && r.req.Skip(meta):
@@ -588,6 +620,14 @@ func (r *run) readLoop(delivered map[int]bool) error {
 		o.prof.readChunks.Add(1)
 		if err := o.table.EnsureChunk(id, lines, off, int64(len(data))); err != nil {
 			return err
+		}
+		if !r.req.Range.Contains(id) {
+			// Out-of-range chunk discovered while carving toward the range:
+			// its geometry is now in the catalog (a later pass jumps it for
+			// free) but its text is dropped before conversion.
+			off += int64(len(data))
+			id++
+			continue
 		}
 		tc := &chunk.TextChunk{ID: id, Data: data, Lines: lines}
 		if !r.sendText(tc) {

@@ -126,21 +126,24 @@ func (r *Registry) CacheStats() cache.Stats {
 	return total
 }
 
-// queryConsumer is the engine surface the operator drives: the serial
+// QueryConsumer is the engine surface the operator drives: the serial
 // engine.Executor and the fan-out engine.ParallelExecutor both satisfy it.
 // ConsumeCounted and Bound feed demand-driven termination: the matched-row
 // count advances the LIMIT frontier, and the top-k cutoff prunes chunks for
 // ORDER BY ... LIMIT.
-type queryConsumer interface {
+type QueryConsumer interface {
 	ConsumeContext(ctx context.Context, bc *BinaryChunk) error
 	ConsumeCounted(bc *BinaryChunk) (int, error)
 	Bound() ([]engine.Value, bool)
 	Result() (*engine.Result, error)
+	// Finish yields the raw mergeable partials instead of a materialized
+	// result — the surface distributed serving ships over the wire.
+	Finish() ([]*engine.Partial, error)
 }
 
 // newConsumer builds the executor matching the operator's consume
 // parallelism and returns it with the effective worker count.
-func newConsumer(op *Operator, q *engine.Query, sch *schema.Schema) (queryConsumer, int, error) {
+func newConsumer(op *Operator, q *engine.Query, sch *schema.Schema) (QueryConsumer, int, error) {
 	n := op.Config().ConsumeWorkers
 	if n > 1 {
 		ex, err := engine.NewParallelExecutor(q, sch, n)
@@ -163,6 +166,34 @@ func ExecuteQuery(op *Operator, q *engine.Query) (*engine.Result, RunStats, erro
 // error. With ConsumeWorkers > 1 in the operator's configuration the query
 // evaluates on an engine.ParallelExecutor fed by that many consume workers.
 func ExecuteQueryContext(ctx context.Context, op *Operator, q *engine.Query) (*engine.Result, RunStats, error) {
+	return ExecuteQueryRangeContext(ctx, op, q, nil)
+}
+
+// ExecuteQueryRange is ExecuteQueryRangeContext without cancellation.
+func ExecuteQueryRange(op *Operator, q *engine.Query, rng *ChunkRange) (*engine.Result, RunStats, error) {
+	return ExecuteQueryRangeContext(context.Background(), op, q, rng)
+}
+
+// ExecuteQueryRangeContext is ExecuteQueryContext restricted to a chunk
+// range: only chunks with rng.Lo <= ID < rng.Hi contribute to the result,
+// which is how a fleet worker evaluates a query over the sub-file it owns.
+// The LIMIT demand frontier starts at the range's lower bound, so early
+// termination stays sound within the peer's chunk universe. A nil range is
+// the whole file.
+func ExecuteQueryRangeContext(ctx context.Context, op *Operator, q *engine.Query, rng *ChunkRange) (*engine.Result, RunStats, error) {
+	ex, st, err := ConsumeQueryRangeContext(ctx, op, q, rng)
+	if err != nil {
+		return nil, st, err
+	}
+	res, err := ex.Result()
+	return res, st, err
+}
+
+// ConsumeQueryRangeContext runs the scan for q over the given chunk range
+// and returns the fed executor without finalizing it — the caller chooses
+// between Result() and, for distributed serving, extracting the mergeable
+// partial state to ship over the wire.
+func ConsumeQueryRangeContext(ctx context.Context, op *Operator, q *engine.Query, rng *ChunkRange) (QueryConsumer, RunStats, error) {
 	ex, n, err := newConsumer(op, q, op.Table().Schema())
 	if err != nil {
 		return nil, RunStats{}, err
@@ -177,13 +208,10 @@ func ExecuteQueryContext(ctx context.Context, op *Operator, q *engine.Query) (*e
 		Columns:         cols,
 		Skip:            SkipFromPredicate(q.Where),
 		ParallelConsume: n,
+		Range:           rng,
 	})
 	st, err := op.RunContext(ctx, req)
-	if err != nil {
-		return nil, st, err
-	}
-	res, err := ex.Result()
-	return res, st, err
+	return ex, st, err
 }
 
 // demandRequest completes a Request with the delivery callback and the
@@ -191,8 +219,8 @@ func ExecuteQueryContext(ctx context.Context, op *Operator, q *engine.Query) (*e
 // the LIMIT frontier, the executor's top-k cutoff prunes chunks, and the
 // Satisfied signal (when the query has a termination profile) lets the scan
 // stop before end-of-file.
-func demandRequest(ctx context.Context, q *engine.Query, ex queryConsumer, base Request) Request {
-	dem := NewDemand(q, ex)
+func demandRequest(ctx context.Context, q *engine.Query, ex QueryConsumer, base Request) Request {
+	dem := NewDemandFrom(q, ex, base.Range.start())
 	base.Deliver = func(bc *BinaryChunk) error {
 		if err := ctx.Err(); err != nil {
 			return err

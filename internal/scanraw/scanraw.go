@@ -474,6 +474,32 @@ func (o *Operator) ProfileSnapshot() Profile { return o.prof.snapshot() }
 // for experiments that measure the amount of loaded data.
 func (o *Operator) WaitIdle() { o.flushWG.Wait() }
 
+// ChunkRange restricts a request to the chunks with Lo <= ID < Hi. Hi <= 0
+// means unbounded above (to the end of the file). Ranges are what lets a
+// fleet shard one logical table across peers: each worker scans only its
+// assigned slice of the chunk ID space, and the coordinator stitches the
+// slices back together in global chunk order.
+type ChunkRange struct {
+	Lo int
+	Hi int
+}
+
+// Contains reports whether the range (nil = unrestricted) includes id.
+func (r *ChunkRange) Contains(id int) bool {
+	if r == nil {
+		return true
+	}
+	return id >= r.Lo && (r.Hi <= 0 || id < r.Hi)
+}
+
+// start returns the first in-range chunk ID (0 for a nil range).
+func (r *ChunkRange) start() int {
+	if r == nil {
+		return 0
+	}
+	return r.Lo
+}
+
 // Request describes one query execution over the operator's raw file.
 type Request struct {
 	// Columns lists the schema ordinals the query needs (selective
@@ -503,6 +529,14 @@ type Request struct {
 	// fan out to. 0 falls back to Config.ConsumeWorkers; values <= 1
 	// select the classic serial delivery path.
 	ParallelConsume int
+	// Range, when non-nil, restricts the scan to chunks with
+	// Range.Lo <= ID < Range.Hi (Hi <= 0 = to end of file). Chunks outside
+	// the range are neither delivered, skipped, nor counted: they are
+	// outside this request's universe entirely. Known out-of-range chunks
+	// are jumped over without reading; unknown ones are still discovered
+	// (the byte stream must be carved to find the next boundary) but their
+	// text is dropped before conversion.
+	Range *ChunkRange
 }
 
 // BinaryChunk is re-exported so operator users do not need to import the

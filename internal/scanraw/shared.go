@@ -60,10 +60,19 @@ func (o *Operator) RunSharedContext(ctx context.Context, reqs []Request) (RunSta
 	combined := Request{
 		Columns:         union,
 		ParallelConsume: parallel,
+		// The scan covers the union of the members' chunk ranges; members
+		// with narrower ranges filter per delivery below. Unbounded members
+		// keep the whole file in play.
+		Range: enclosingRange(reqs),
 		// A chunk is skipped at the scan level only when every request
 		// would skip it; requests without a filter always need the chunk.
+		// A member whose range excludes the chunk never wants it, so it
+		// does not block the skip.
 		Skip: func(meta *dbstore.ChunkMeta) bool {
 			for _, req := range reqs {
+				if !req.Range.Contains(meta.ID) {
+					continue
+				}
 				if req.Skip == nil || !req.Skip(meta) {
 					return false
 				}
@@ -73,6 +82,11 @@ func (o *Operator) RunSharedContext(ctx context.Context, reqs []Request) (RunSta
 		Deliver: func(bc *BinaryChunk) error {
 			meta, haveMeta := o.table.Chunk(bc.ID)
 			for i := range reqs {
+				if !reqs[i].Range.Contains(bc.ID) {
+					// Outside this member's universe: not delivered, not
+					// counted as skipped.
+					continue
+				}
 				if reqs[i].Satisfied != nil && reqs[i].Satisfied() {
 					// This member's result is already final; the chunk is
 					// still scanned for the members that need it.
@@ -141,6 +155,36 @@ func combinedSatisfied(reqs []Request) func() bool {
 	}
 }
 
+// enclosingRange returns the smallest chunk range covering every member's
+// range, or nil (whole file) when any member is unrestricted.
+func enclosingRange(reqs []Request) *ChunkRange {
+	lo := -1
+	hi := 0 // 0 = not yet set; -1 = unbounded above
+	for _, req := range reqs {
+		if req.Range == nil {
+			return nil
+		}
+		if lo < 0 || req.Range.Lo < lo {
+			lo = req.Range.Lo
+		}
+		switch {
+		case hi == -1:
+			// Already unbounded above.
+		case req.Range.Hi <= 0:
+			hi = -1
+		case req.Range.Hi > hi:
+			hi = req.Range.Hi
+		}
+	}
+	if lo < 0 {
+		return nil
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	return &ChunkRange{Lo: lo, Hi: hi}
+}
+
 // unionColumns returns the sorted union of every request's column set.
 func unionColumns(reqs []Request) []int {
 	seen := map[int]bool{}
@@ -171,7 +215,7 @@ func ExecuteQueriesContext(ctx context.Context, op *Operator, qs []*engine.Query
 		return nil, RunStats{}, fmt.Errorf("scanraw: no queries")
 	}
 	sch := op.Table().Schema()
-	executors := make([]queryConsumer, len(qs))
+	executors := make([]QueryConsumer, len(qs))
 	reqs := make([]Request, len(qs))
 	for i, q := range qs {
 		ex, n, err := newConsumer(op, q, sch)

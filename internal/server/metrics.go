@@ -16,6 +16,8 @@ type counters struct {
 	timedOut  atomic.Int64
 	failed    atomic.Int64
 
+	execRequests atomic.Int64 // admitted coordinator /exec shards
+
 	scans     atomic.Int64 // physical scans dispatched (batches)
 	coalesced atomic.Int64 // queries that shared their scan with others
 
@@ -72,6 +74,8 @@ type MetricsSnapshot struct {
 	Cancelled        int64 `json:"cancelled_total"`
 	TimedOut         int64 `json:"timed_out_total"`
 	Failed           int64 `json:"failed_total"`
+	ExecRequests     int64 `json:"exec_requests_total"` // coordinator-assigned shard executions
+	Draining         bool  `json:"draining"`
 	PhysicalScans    int64 `json:"physical_scans_total"`
 	CoalescedQueries int64 `json:"coalesced_queries_total"`
 	ActiveQueries    int   `json:"active_queries"`
@@ -130,6 +134,8 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		Cancelled:        s.met.cancelled.Load(),
 		TimedOut:         s.met.timedOut.Load(),
 		Failed:           s.met.failed.Load(),
+		ExecRequests:     s.met.execRequests.Load(),
+		Draining:         s.draining.Load(),
 		PhysicalScans:    s.met.scans.Load(),
 		CoalescedQueries: s.met.coalesced.Load(),
 		ActiveQueries:    len(s.slots),

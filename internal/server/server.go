@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scanraw/internal/dbstore"
@@ -97,6 +98,11 @@ type Server struct {
 	tables   map[string]*tableEntry
 	batchers map[string]*batcher
 
+	// draining flips at Drain entry; /healthz reports it (503) so a
+	// coordinator stops routing new shards here, and /exec sheds
+	// immediately instead of racing the slot takeover.
+	draining atomic.Bool
+
 	met counters
 }
 
@@ -128,6 +134,10 @@ func (s *Server) Registry() *scanraw.Registry { return s.reg }
 // wait; on expiry the checkpoint still runs so whatever has finished is
 // compacted, and the context error is returned.
 func (s *Server) Drain(ctx context.Context) error {
+	// Flip readiness first: new /exec shards and health probes see the
+	// drain before the slot takeover starts, so a coordinator routes
+	// around this worker instead of racing its shutdown.
+	s.draining.Store(true)
 	var ctxErr error
 slots:
 	for i := 0; i < s.cfg.MaxConcurrent; i++ {
@@ -209,9 +219,21 @@ func (s *Server) batcherFor(e *tableEntry) *batcher {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /exec", s.handleExec)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /tables", s.handleTables)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is the liveness/readiness probe: 200 while serving, 503
+// once draining — the signal a coordinator uses to skip this worker.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
 // queryRequest is the POST /query body.

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Runs the benchmark suite over the hot packages and records the results as
-# JSON in BENCH_pr3.json: one object per benchmark with ns/op plus the
-# derived headline ratios — serial-vs-parallel consume speedup and the
-# full-scan-vs-early-termination speedup for a streamed LIMIT query.
+# JSON in BENCH_pr6.json: one object per benchmark with ns/op plus the
+# derived headline ratios — serial-vs-parallel consume speedup, the
+# full-scan-vs-early-termination speedup for a streamed LIMIT query, and
+# the distributed-vs-single-node latency ratio for a scatter-gathered
+# GROUP BY (distributed_merge_overhead; < 1 means the parallel fleet scan
+# outruns the codec + HTTP + merge cost).
 #
 # Each benchmark runs -count times and the best run is recorded: the
 # minimum is the least contaminated by scheduler noise on a shared
@@ -22,7 +25,7 @@ case "${GOFLAGS:-}" in
     exit 1
     ;;
 esac
-OUT=BENCH_pr3.json
+OUT=BENCH_pr6.json
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
@@ -30,6 +33,8 @@ $GO test -run xxx -bench . -benchmem -benchtime 20x -count "$COUNT" \
     ./internal/tok/ ./internal/parse/ ./internal/engine/ | tee "$TMP"
 $GO test -run xxx -bench 'BenchmarkConsume|BenchmarkLimit' -benchtime 10x -count "$COUNT" \
     ./internal/scanraw/ | tee -a "$TMP"
+$GO test -run xxx -bench 'BenchmarkSingleNodeQuery|BenchmarkDistributedQuery' -benchtime 10x -count "$COUNT" \
+    ./internal/cluster/ | tee -a "$TMP"
 
 awk '
 /^Benchmark/ {
@@ -59,12 +64,16 @@ END {
         if (name ~ /^BenchmarkConsumeParallel8/) par = best[name]
         if (name ~ /^BenchmarkLimitFullScan/) full = best[name]
         if (name ~ /^BenchmarkLimitEarlyTerm/) early = best[name]
+        if (name ~ /^BenchmarkSingleNodeQuery/) single = best[name]
+        if (name ~ /^BenchmarkDistributedQuery/) dist = best[name]
     }
     print "  ],"
     if (serial > 0 && par > 0)
         printf "  \"consume_parallel_speedup\": %.2f,\n", serial / par
     if (full > 0 && early > 0)
         printf "  \"limit_early_term_speedup\": %.2f,\n", full / early
+    if (single > 0 && dist > 0)
+        printf "  \"distributed_merge_overhead\": %.2f,\n", dist / single
     printf "  \"date\": \"%s\"\n", strftime("%Y-%m-%d")
     print "}"
 }' "$TMP" > "$OUT"
