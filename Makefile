@@ -27,7 +27,7 @@ test:
 # (parallel partial executors + differential test), and the cluster layer
 # (coordinator fan-out + distributed differential test).
 race:
-	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/...
+	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/... ./internal/kernel/...
 
 # Project-specific static analysis (pin balance, pool pairing, goroutine
 # exits, context threading, channel ops under locks). Stdlib-only; see
@@ -40,20 +40,22 @@ lint:
 # packages rerun under the tag with the race detector; the resource-owning
 # packages rerun without it.
 invariants:
-	$(GO) test -tags invariants ./internal/cache/... ./internal/chunk/... ./internal/tok/... ./internal/parse/...
-	$(GO) test -race -tags invariants ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/...
+	$(GO) test -tags invariants ./internal/cache/... ./internal/chunk/... ./internal/tok/... ./internal/parse/... ./internal/kernel/...
+	$(GO) test -race -tags invariants ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/... ./internal/kernel/...
 
-# Short fuzz smoke over the decoders that parse untrusted bytes: the
+# Short fuzz smoke over the decoders that parse untrusted bytes — the
 # manifest record/frame decoders (crash recovery reads whatever is on
 # disk), the binary chunk codec, and the network-facing cluster decoders
-# (serialized engine partials and frame payloads arrive over TCP). A few
-# seconds each is enough to catch structural regressions; long fuzz runs
-# stay manual.
+# (serialized engine partials and frame payloads arrive over TCP) — plus
+# the fused-kernel differential property (fused conversion equals the
+# two-stage pipeline, or both error). A few seconds each is enough to
+# catch structural regressions; long fuzz runs stay manual.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRecord -fuzztime=5s ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrames -fuzztime=5s ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzDecodePartial -fuzztime=5s ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameMessage -fuzztime=5s ./internal/cluster
+	$(GO) test -run='^$$' -fuzz=FuzzFusedKernel -fuzztime=5s ./internal/kernel
 
 # bench runs the benchmark suite across the hot packages and records the
 # raw output in BENCH_pr3.json (see README). bench-compare diffs the two

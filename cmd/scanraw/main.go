@@ -83,6 +83,7 @@ func main() {
 		diskMBps  = flag.Int("disk", 400, "simulated disk bandwidth in MB/s (0 = unthrottled)")
 		delim     = flag.String("delim", ",", "field delimiter")
 		stats     = flag.Bool("stats", true, "collect min/max statistics while converting")
+		fused     = flag.Bool("fused", true, "use fused per-schema conversion kernels (one-pass tokenize+parse)")
 		repl      = flag.Bool("repl", false, "read queries interactively from stdin")
 		timeout   = flag.Duration("timeout", 0, "per-query timeout; cancels the scan when exceeded (0 = none)")
 	)
@@ -134,6 +135,9 @@ func main() {
 		Delim:           delimByte,
 		CollectStats:    *stats,
 		ConsumeWorkers:  *consumeW,
+	}
+	if !*fused {
+		opCfg.FusedKernels = scanraw.FusedOff
 	}
 	runOne := func(sql string) error {
 		ctx := context.Background()

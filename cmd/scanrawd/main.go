@@ -196,6 +196,7 @@ func main() {
 		diskMBps   = flag.Int("disk", 0, "simulated disk bandwidth in MB/s (0 = unthrottled)")
 		dataDir    = flag.String("data-dir", "", "persist loaded data and catalog under this directory (empty = in-memory only)")
 		stats      = flag.Bool("stats", true, "collect min/max statistics while converting")
+		fused      = flag.Bool("fused", true, "use fused per-schema conversion kernels (one-pass tokenize+parse)")
 		maxConc    = flag.Int("max-concurrent", 32, "admission slots: queries in flight before 429")
 		coalesce   = flag.Duration("coalesce", 2*time.Millisecond, "coalescing window for shared scans (negative disables)")
 		timeout    = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
@@ -331,7 +332,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("scanrawd: %v", err)
 		}
-		if err := srv.AddTable(table, scanraw.Config{
+		tblCfg := scanraw.Config{
 			Workers:         *workers,
 			AdaptiveWorkers: *adaptive,
 			ChunkLines:      *chunkLines,
@@ -341,7 +342,11 @@ func main() {
 			Delim:           delim,
 			CollectStats:    *stats,
 			ConsumeWorkers:  *consumeW,
-		}); err != nil {
+		}
+		if !*fused {
+			tblCfg.FusedKernels = scanraw.FusedOff
+		}
+		if err := srv.AddTable(table, tblCfg); err != nil {
 			log.Fatalf("scanrawd: %v", err)
 		}
 		log.Printf("serving table %q (%d bytes, schema %s)", name, len(raw), sch)

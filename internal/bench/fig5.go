@@ -54,6 +54,10 @@ func RunFig5(sc Scale, colCounts []int) (*Fig5Result, error) {
 				ChunkLines:  lines,
 				Policy:      scanraw.FullLoad,
 				CacheChunks: sc.CacheChunks,
+				// The figure reports the TOKENIZE/PARSE split; fused kernels
+				// collapse both into one pass (all time lands on PARSE), which
+				// would erase the paper's stage breakdown.
+				FusedKernels: scanraw.FusedOff,
 			})
 			st, err := runSum(op, e, allCols(nc))
 			if err != nil {

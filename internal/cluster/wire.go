@@ -185,8 +185,14 @@ func (d *decoder) str() string {
 
 func (d *decoder) count(limit uint64, what string) int {
 	v := d.uvar()
-	if d.err == nil && v > limit {
+	if d.err != nil {
+		return 0
+	}
+	if v > limit {
 		d.fail("cluster: %s %d exceeds limit %d", what, v, limit)
+		// Return 0, not the oversized value: callers size allocations by
+		// this count, and the count must never outlive the failure.
+		return 0
 	}
 	return int(v)
 }

@@ -148,8 +148,14 @@ func (d *wireDecoder) str() string {
 // count decodes a non-negative bounded integer.
 func (d *wireDecoder) count(limit uint64, what string) int {
 	v := d.uvar()
-	if d.err == nil && v > limit {
+	if d.err != nil {
+		return 0
+	}
+	if v > limit {
 		d.fail("engine: %s %d exceeds limit %d", what, v, limit)
+		// Return 0, not the oversized value: callers size allocations by
+		// this count, and not all of them re-check d.err before make().
+		return 0
 	}
 	return int(v)
 }

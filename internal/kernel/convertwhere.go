@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"fmt"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/parse"
+	"scanraw/internal/schema"
+)
+
+// ConvertWhere is the fused counterpart of parse.Parser.ParseWhere
+// (push-down selection): each line is framed once, the predicate evaluated
+// on predCol's raw bytes, and the requested columns converted only for
+// qualifying tuples. Value errors in dropped rows do not error — exactly
+// the ParseWhere contract — while framing errors always do. The returned
+// chunk holds just the qualifying rows (and must not be loaded); keep lists
+// the qualifying row ordinals.
+func (k *Kernel) ConvertWhere(tc *chunk.TextChunk, predCol int, pred parse.RowPredicate) (*chunk.BinaryChunk, []int, error) {
+	if predCol < 0 || predCol >= k.sch.NumColumns() {
+		return nil, nil, fmt.Errorf("kernel: predicate column %d out of schema range [0,%d)", predCol, k.sch.NumColumns())
+	}
+	data := tc.Data
+	delim := k.delim
+	ncols := len(k.cols)
+	// The walk must frame far enough to delimit both the requested columns
+	// and the predicate column.
+	wUpTo := k.upTo
+	if predCol+1 > wUpTo {
+		wUpTo = predCol + 1
+	}
+	// Per-line field offsets of the requested columns, recorded during
+	// framing so qualifying rows convert without a second scan.
+	starts := make([]int, ncols)
+	ends := make([]int, ncols)
+	out := k.getVectors(tc.Lines)
+	keep := make([]int, 0, tc.Lines)
+	nKeep := 0
+	pos := 0
+	for r := 0; r < tc.Lines; r++ {
+		if pos >= len(data) {
+			putVectors(out)
+			return nil, nil, errShort(tc, r)
+		}
+		rawEnd, lineEnd := lineBounds(data, pos)
+		fs := pos
+		ri := 0 // next requested column to record
+		var ps, pe int
+		for c := 0; c < wUpTo; c++ {
+			fe := fieldEnd(data, fs, lineEnd, delim)
+			if ri < ncols && k.cols[ri] == c {
+				starts[ri], ends[ri] = fs, fe
+				ri++
+			}
+			if c == predCol {
+				ps, pe = fs, fe
+			}
+			if fe == lineEnd && c < wUpTo-1 {
+				putVectors(out)
+				return nil, nil, errFields(tc, r, c+1, wUpTo)
+			}
+			fs = fe + 1
+		}
+		if pred(data[ps:pe]) {
+			for j := 0; j < ncols; j++ {
+				s, e := starts[j], ends[j]
+				switch k.types[j] {
+				case schema.Int64:
+					x, err := parse.ParseInt(data[s:e])
+					if err != nil {
+						putVectors(out)
+						return nil, nil, fmt.Errorf("kernel: chunk %d row %d col %d: %w", tc.ID, r, k.cols[j], err)
+					}
+					out[j].Ints[nKeep] = x
+				case schema.Float64:
+					x, err := parse.ParseFloat(data[s:e])
+					if err != nil {
+						putVectors(out)
+						return nil, nil, fmt.Errorf("kernel: chunk %d row %d col %d: %w", tc.ID, r, k.cols[j], err)
+					}
+					out[j].Floats[nKeep] = x
+				default:
+					out[j].Strs[nKeep] = string(data[s:e])
+				}
+			}
+			keep = append(keep, r)
+			nKeep++
+		}
+		pos = nextLine(data, rawEnd)
+	}
+	for _, v := range out {
+		truncate(v, nKeep)
+	}
+	bc, err := k.install(tc.ID, nKeep, out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bc, keep, nil
+}
+
+// truncate reslices a vector's payload to its first n values (push-down
+// output is at most, usually fewer than, the chunk's line count).
+func truncate(v *chunk.Vector, n int) {
+	switch v.Type {
+	case schema.Int64:
+		v.Ints = v.Ints[:n]
+	case schema.Float64:
+		v.Floats = v.Floats[:n]
+	default:
+		// Clear the dropped tail so recycled string storage does not pin
+		// this chunk's bytes past its lifetime.
+		clear(v.Strs[n:])
+		v.Strs = v.Strs[:n]
+	}
+}

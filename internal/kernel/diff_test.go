@@ -1,0 +1,301 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/parse"
+	"scanraw/internal/schema"
+	"scanraw/internal/tok"
+)
+
+// The differential suite: fused kernels must be byte-identical to the
+// tok→parse pipeline — same outputs on success, an error whenever the
+// two-stage path errors — across random schemas, column subsets,
+// delimiters, CRLF endings, short/overlong lines, and malformed values.
+
+// tokParse runs the two-stage reference path: tokenize upTo the last
+// requested column, then parse the requested columns.
+func tokParse(sch *schema.Schema, tc *chunk.TextChunk, delim byte, cols []int) (*chunk.BinaryChunk, error) {
+	tk := &tok.Tokenizer{Delim: delim, MinFields: sch.NumColumns()}
+	pm, err := tk.Tokenize(tc, cols[len(cols)-1]+1)
+	if err != nil {
+		return nil, err
+	}
+	defer chunk.PutPositionalMap(pm)
+	p := &parse.Parser{Schema: sch}
+	return p.Parse(tc, pm, cols)
+}
+
+// tokParseWhere is the two-stage reference for push-down selection.
+func tokParseWhere(sch *schema.Schema, tc *chunk.TextChunk, delim byte, cols []int, predCol int, pred parse.RowPredicate) (*chunk.BinaryChunk, []int, error) {
+	upTo := cols[len(cols)-1] + 1
+	if predCol+1 > upTo {
+		upTo = predCol + 1
+	}
+	tk := &tok.Tokenizer{Delim: delim, MinFields: sch.NumColumns()}
+	pm, err := tk.Tokenize(tc, upTo)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer chunk.PutPositionalMap(pm)
+	p := &parse.Parser{Schema: sch}
+	return p.ParseWhere(tc, pm, cols, predCol, pred)
+}
+
+// requireEqualChunks fails the test unless the two chunks hold identical
+// values in every requested column. Floats compare by bit pattern —
+// "byte-identical" includes the sign of zero and NaN payloads.
+func requireEqualChunks(t *testing.T, label string, want, got *chunk.BinaryChunk, cols []int) {
+	t.Helper()
+	if want.ID != got.ID || want.Rows != got.Rows {
+		t.Fatalf("%s: chunk mismatch: want id=%d rows=%d, got id=%d rows=%d",
+			label, want.ID, want.Rows, got.ID, got.Rows)
+	}
+	for _, c := range cols {
+		wv, gv := want.Column(c), got.Column(c)
+		if wv == nil || gv == nil {
+			t.Fatalf("%s: column %d missing (want %v, got %v)", label, c, wv != nil, gv != nil)
+		}
+		if wv.Type != gv.Type {
+			t.Fatalf("%s: column %d type mismatch", label, c)
+		}
+		for r := 0; r < want.Rows; r++ {
+			switch wv.Type {
+			case schema.Int64:
+				if wv.Ints[r] != gv.Ints[r] {
+					t.Fatalf("%s: col %d row %d: want %d, got %d", label, c, r, wv.Ints[r], gv.Ints[r])
+				}
+			case schema.Float64:
+				if math.Float64bits(wv.Floats[r]) != math.Float64bits(gv.Floats[r]) {
+					t.Fatalf("%s: col %d row %d: want %v, got %v", label, c, r, wv.Floats[r], gv.Floats[r])
+				}
+			default:
+				if wv.Strs[r] != gv.Strs[r] {
+					t.Fatalf("%s: col %d row %d: want %q, got %q", label, c, r, wv.Strs[r], gv.Strs[r])
+				}
+			}
+		}
+	}
+}
+
+// randSchema draws 1-10 columns of random types.
+func randSchema(rng *rand.Rand) *schema.Schema {
+	n := 1 + rng.Intn(10)
+	cols := make([]schema.Column, n)
+	for i := range cols {
+		cols[i] = schema.Column{Name: fmt.Sprintf("c%d", i), Type: schema.Type(rng.Intn(3))}
+	}
+	return schema.MustNew(cols...)
+}
+
+// randCols draws a non-empty sorted subset of the schema's ordinals.
+func randCols(rng *rand.Rand, ncols int) []int {
+	var cols []int
+	for c := 0; c < ncols; c++ {
+		if rng.Intn(2) == 0 {
+			cols = append(cols, c)
+		}
+	}
+	if len(cols) == 0 {
+		cols = []int{rng.Intn(ncols)}
+	}
+	return cols
+}
+
+// randField produces a value for one cell; mostly valid for the column
+// type, occasionally malformed (the differential property covers errors).
+func randField(rng *rand.Rand, t schema.Type, delim byte, corrupt bool) string {
+	if corrupt {
+		return [...]string{"x9", "", "-", "9223372036854775808", "1.2.3", "0x10", "nanx"}[rng.Intn(7)]
+	}
+	switch t {
+	case schema.Int64:
+		switch rng.Intn(8) {
+		case 0:
+			return "0"
+		case 1:
+			return strconv.FormatInt(math.MinInt64, 10)
+		case 2:
+			return strconv.FormatInt(math.MaxInt64, 10)
+		case 3:
+			return "+" + strconv.Itoa(rng.Intn(1000))
+		default:
+			return strconv.FormatInt(rng.Int63n(1<<40)-(1<<39), 10)
+		}
+	case schema.Float64:
+		switch rng.Intn(8) {
+		case 0:
+			return ".5"
+		case 1:
+			return "5."
+		case 2:
+			return "-0.0"
+		case 3:
+			return strconv.FormatFloat(rng.NormFloat64()*1e9, 'e', -1, 64)
+		case 4:
+			return "0.000000000000000000000001"
+		default:
+			return strconv.FormatFloat(rng.NormFloat64()*1000, 'f', -1, 64)
+		}
+	default:
+		n := rng.Intn(10)
+		b := make([]byte, 0, n)
+		for i := 0; i < n; i++ {
+			ch := byte(' ' + rng.Intn(95))
+			if ch == delim || ch == '\n' || ch == '\r' {
+				ch = '_'
+			}
+			b = append(b, ch)
+		}
+		return string(b)
+	}
+}
+
+// randChunk builds a chunk for the schema: random row count, per-line CRLF,
+// sometimes short lines, corrupt cells, a missing trailing newline, or a
+// lying line count.
+func randChunk(rng *rand.Rand, sch *schema.Schema, delim byte) *chunk.TextChunk {
+	rows := rng.Intn(30)
+	var data []byte
+	for r := 0; r < rows; r++ {
+		nf := sch.NumColumns()
+		if rng.Intn(20) == 0 {
+			nf = rng.Intn(nf) // short line
+		} else if rng.Intn(10) == 0 {
+			nf += 1 + rng.Intn(3) // overlong line: extra trailing fields
+		}
+		for f := 0; f < nf; f++ {
+			if f > 0 {
+				data = append(data, delim)
+			}
+			t := schema.Str
+			if f < sch.NumColumns() {
+				t = sch.Column(f).Type
+			}
+			data = append(data, randField(rng, t, delim, rng.Intn(40) == 0)...)
+		}
+		switch rng.Intn(4) {
+		case 0:
+			data = append(data, '\r', '\n')
+		default:
+			data = append(data, '\n')
+		}
+	}
+	if rows > 0 && rng.Intn(8) == 0 {
+		data = data[:len(data)-1] // drop the final newline
+		if len(data) > 0 && data[len(data)-1] == '\r' && rng.Intn(2) == 0 {
+			data = data[:len(data)-1]
+		}
+	}
+	claimed := rows
+	if rng.Intn(25) == 0 {
+		claimed = rows + 1 + rng.Intn(2) // claims lines the data lacks
+	}
+	return &chunk.TextChunk{ID: rng.Intn(100), Data: data, Lines: claimed}
+}
+
+func TestFusedMatchesTokParseRandomized(t *testing.T) {
+	delims := []byte{',', '\t', ';', '|'}
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sch := randSchema(rng)
+		delim := delims[rng.Intn(len(delims))]
+		cols := randCols(rng, sch.NumColumns())
+		tc := randChunk(rng, sch, delim)
+
+		k, err := For(sch, cols, delim)
+		if err != nil {
+			t.Fatalf("seed %d: For: %v", seed, err)
+		}
+		want, wantErr := tokParse(sch, tc, delim, cols)
+		got, gotErr := k.Convert(tc)
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("seed %d (kernel %s, cols %v, delim %q):\n tok+parse err: %v\n fused err:     %v\n data: %q",
+				seed, k.Name(), cols, delim, wantErr, gotErr, tc.Data)
+		}
+		if wantErr != nil {
+			continue
+		}
+		requireEqualChunks(t, fmt.Sprintf("seed %d (kernel %s, cols %v)", seed, k.Name(), cols), want, got, cols)
+		want.RecycleColumns()
+		got.RecycleColumns()
+	}
+}
+
+func TestFusedConvertWhereMatchesParseWhere(t *testing.T) {
+	// Predicates operate on raw field bytes, exactly like ParseWhere.
+	preds := []parse.RowPredicate{
+		func(b []byte) bool { return len(b)%2 == 0 },
+		func(b []byte) bool { return len(b) > 0 && b[0] <= '4' },
+		func(b []byte) bool { return true },
+		func(b []byte) bool { return false },
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		sch := randSchema(rng)
+		delim := byte(',')
+		cols := randCols(rng, sch.NumColumns())
+		predCol := rng.Intn(sch.NumColumns())
+		pred := preds[rng.Intn(len(preds))]
+		tc := randChunk(rng, sch, delim)
+
+		k, err := For(sch, cols, delim)
+		if err != nil {
+			t.Fatalf("seed %d: For: %v", seed, err)
+		}
+		want, wantKeep, wantErr := tokParseWhere(sch, tc, delim, cols, predCol, pred)
+		got, gotKeep, gotErr := k.ConvertWhere(tc, predCol, pred)
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("seed %d (cols %v, predCol %d):\n ParseWhere err:   %v\n ConvertWhere err: %v\n data: %q",
+				seed, cols, predCol, wantErr, gotErr, tc.Data)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if len(wantKeep) != len(gotKeep) {
+			t.Fatalf("seed %d: keep length: want %d, got %d", seed, len(wantKeep), len(gotKeep))
+		}
+		for i := range wantKeep {
+			if wantKeep[i] != gotKeep[i] {
+				t.Fatalf("seed %d: keep[%d]: want %d, got %d", seed, i, wantKeep[i], gotKeep[i])
+			}
+		}
+		requireEqualChunks(t, fmt.Sprintf("seed %d (predCol %d)", seed, predCol), want, got, cols)
+		want.RecycleColumns()
+		got.RecycleColumns()
+	}
+}
+
+// TestConvertWhereDroppedRowsToleratesBadValues pins the ParseWhere
+// contract the fused path must honour: a malformed value in a row the
+// predicate drops is never parsed, so it must not error.
+func TestConvertWhereDroppedRowsToleratesBadValues(t *testing.T) {
+	sch := intSchema(2)
+	k, err := For(sch, []int{0, 1}, ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := textChunk(0, "1,2\n9,notanumber\n3,4\n")
+	// Keep only rows whose first field is odd-valued ASCII: drops row 1.
+	pred := func(b []byte) bool { return len(b) > 0 && b[0] != '9' }
+	bc, keep, err := k.ConvertWhere(tc, 0, pred)
+	if err != nil {
+		t.Fatalf("bad value in dropped row must not error: %v", err)
+	}
+	defer bc.RecycleColumns()
+	if len(keep) != 2 || keep[0] != 0 || keep[1] != 2 {
+		t.Fatalf("keep = %v, want [0 2]", keep)
+	}
+	if bc.Rows != 2 || bc.Column(1).Ints[0] != 2 || bc.Column(1).Ints[1] != 4 {
+		t.Fatalf("got rows=%d col1=%v", bc.Rows, bc.Column(1).Ints)
+	}
+	// The same bad value in a kept row must error — on both paths.
+	if _, _, err := k.ConvertWhere(tc, 0, func([]byte) bool { return true }); err == nil {
+		t.Fatal("bad value in kept row: expected error")
+	}
+}

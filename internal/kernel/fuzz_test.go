@@ -1,0 +1,100 @@
+package kernel
+
+import (
+	"testing"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/parse"
+	"scanraw/internal/schema"
+	"scanraw/internal/tok"
+)
+
+// FuzzFusedKernel is the fuzz form of the differential property: for
+// arbitrary bytes and an arbitrary (schema, column set, delimiter), the
+// fused kernel and the tok→parse pipeline either both error or produce
+// identical chunks. typeBits picks column types, colBits the requested
+// subset, claimBias perturbs the claimed line count so the framing error
+// paths fuzz too.
+func FuzzFusedKernel(f *testing.F) {
+	f.Add([]byte("1,2,3\n4,5,6\n"), uint16(0), uint8(0b111), byte(','), uint8(0))
+	f.Add([]byte("1.5,a\n-2,b\r\n"), uint16(0b01), uint8(0b10), byte(','), uint8(0))
+	f.Add([]byte("x\ty\n"), uint16(0b1010), uint8(0b11), byte('\t'), uint8(1))
+	f.Add([]byte("no newline"), uint16(0b10), uint8(1), byte(','), uint8(0))
+	f.Add([]byte("9223372036854775807\n"), uint16(0), uint8(1), byte(','), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, typeBits uint16, colBits uint8, delim byte, claimBias uint8) {
+		// 1-8 columns, two type bits each (3 → Str like the zero value's
+		// modulo); requested subset from colBits, forced non-empty.
+		ncols := int(typeBits>>12)%8 + 1
+		scols := make([]schema.Column, ncols)
+		for i := range scols {
+			scols[i] = schema.Column{Name: "c" + string(rune('a'+i)), Type: schema.Type((typeBits >> (2 * i)) % 3)}
+		}
+		sch := schema.MustNew(scols...)
+		var cols []int
+		for c := 0; c < ncols; c++ {
+			if colBits&(1<<c) != 0 {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) == 0 {
+			cols = []int{0}
+		}
+		tc := &chunk.TextChunk{Data: data, Lines: tok.CountLines(data) + int(claimBias%3)}
+
+		k, err := For(sch, cols, delim)
+		if err != nil {
+			t.Fatalf("For: %v", err) // the derived column set is always valid
+		}
+		want, wantErr := tokParse(sch, tc, delim, cols)
+		got, gotErr := k.Convert(tc)
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("kernel %s, cols %v, delim %q, lines %d:\n tok+parse err: %v\n fused err:     %v\n data: %q",
+				k.Name(), cols, delim, tc.Lines, wantErr, gotErr, data)
+		}
+		if wantErr != nil {
+			return
+		}
+		requireEqualChunks(t, k.Name(), want, got, cols)
+		want.RecycleColumns()
+		got.RecycleColumns()
+	})
+}
+
+// FuzzConvertWhere extends the property to push-down selection: keep
+// lists and surviving rows must match ParseWhere exactly.
+func FuzzConvertWhere(f *testing.F) {
+	f.Add([]byte("1,2\n3,4\n"), uint8(0), uint8(1))
+	f.Add([]byte("a,1\nbb,2\r\n"), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, predColBit uint8, parity uint8) {
+		sch := mixedSchema(schema.Str, schema.Int64)
+		cols := []int{0, 1}
+		predCol := int(predColBit % 2)
+		want := int(parity % 2)
+		pred := func(b []byte) bool { return len(b)%2 == want }
+		tc := &chunk.TextChunk{Data: data, Lines: tok.CountLines(data)}
+
+		k, err := For(sch, cols, ',')
+		if err != nil {
+			t.Fatalf("For: %v", err)
+		}
+		wantBC, wantKeep, wantErr := tokParseWhere(sch, tc, ',', cols, predCol, pred)
+		gotBC, gotKeep, gotErr := k.ConvertWhere(tc, predCol, parse.RowPredicate(pred))
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("predCol %d: ParseWhere err %v vs ConvertWhere err %v on %q", predCol, wantErr, gotErr, data)
+		}
+		if wantErr != nil {
+			return
+		}
+		if len(wantKeep) != len(gotKeep) {
+			t.Fatalf("keep length %d vs %d", len(wantKeep), len(gotKeep))
+		}
+		for i := range wantKeep {
+			if wantKeep[i] != gotKeep[i] {
+				t.Fatalf("keep[%d] %d vs %d", i, wantKeep[i], gotKeep[i])
+			}
+		}
+		requireEqualChunks(t, "where", wantBC, gotBC, cols)
+		wantBC.RecycleColumns()
+		gotBC.RecycleColumns()
+	})
+}

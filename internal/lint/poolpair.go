@@ -2,9 +2,10 @@ package lint
 
 // PoolPair enforces the vector/positional-map pooling discipline: buffers
 // taken from the shared pools (chunk.GetVector, chunk.GetPositionalMap,
-// and the operator's tokenizeChunk wrapper, which returns a pooled map)
-// must reach a recycle call (PutVector, PutPositionalMap, releaseMap) or
-// have their ownership transferred. The classic violation is an early
+// the operator's tokenizeChunk wrapper, which returns a pooled map, and
+// the fused kernels' getVectors batch acquire) must reach a recycle call
+// (PutVector, PutPositionalMap, releaseMap, putVectors) or have their
+// ownership transferred. The classic violation is an early
 // error return between acquire and recycle: the buffer is garbage
 // collected instead of reused, silently eroding the pool's allocation
 // savings on exactly the paths tests rarely cover. The inconsistent-
@@ -27,11 +28,13 @@ var poolSpec = &pairSpec{
 		"GetPositionalMap": {fromResult: true},
 		"tokenizeChunk":    {fromResult: true},
 		"parseColumn":      {fromResult: true},
+		"getVectors":       {fromResult: true},
 	},
 	releases: map[string]int{
 		"PutVector":        0,
 		"PutPositionalMap": 0,
 		"releaseMap":       1,
+		"putVectors":       0,
 	},
 	phaseB: true,
 }

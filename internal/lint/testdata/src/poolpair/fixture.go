@@ -58,3 +58,24 @@ func bareDirective(rows, cols int) error {
 	PutPositionalMap(m)
 	return nil
 }
+
+// Bad: the fused kernels' batch acquire dropped by an error return — the
+// whole vector slice leaks at once.
+func badBatchDrop(k *Kernel, n int) (*BinaryChunk, error) {
+	out := k.getVectors(n)
+	if n == 0 {
+		return nil, errShortRow // want
+	}
+	return k.install(0, n, out), nil
+}
+
+// Good: the batch release runs on the error path; success transfers
+// ownership through install.
+func goodBatchRecycle(k *Kernel, n int) (*BinaryChunk, error) {
+	out := k.getVectors(n)
+	if n == 0 {
+		putVectors(out)
+		return nil, errShortRow
+	}
+	return k.install(0, n, out), nil
+}

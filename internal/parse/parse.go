@@ -111,18 +111,28 @@ func (p *Parser) parseColumn(c *chunk.TextChunk, m *chunk.PositionalMap, col int
 	// produced here are installed into cacheable binary chunks and are
 	// never returned — the pool refills from the engine's releases.)
 	v := chunk.GetVector(t, n)
-	// The per-cell loops index the positional map directly — no per-cell
-	// closure call on the hottest path of the whole pipeline. rows != nil
-	// (push-down selection) pays one predictable branch per cell.
+	// The per-cell loops stride the flattened offset arrays directly —
+	// Field's per-cell bounds check and multiply are hoisted out of the
+	// hottest loop of the whole pipeline. The dense case (rows == nil)
+	// strength-reduces the index to an addition; push-down selection pays
+	// one multiply per listed row.
+	starts, ends, nc := m.Starts, m.Ends, m.NumCols
 	switch t {
 	case schema.Int64:
-		for i := 0; i < n; i++ {
-			r := i
-			if rows != nil {
-				r = rows[i]
+		if rows == nil {
+			for i, idx := 0, col; i < n; i, idx = i+1, idx+nc {
+				x, err := ParseInt(c.Data[starts[idx]:ends[idx]])
+				if err != nil {
+					chunk.PutVector(v)
+					return nil, fmt.Errorf("parse: chunk %d row %d col %d: %w", c.ID, i, col, err)
+				}
+				v.Ints[i] = x
 			}
-			s, e := m.Field(r, col)
-			x, err := ParseInt(c.Data[s:e])
+			break
+		}
+		for i, r := range rows {
+			idx := r*nc + col
+			x, err := ParseInt(c.Data[starts[idx]:ends[idx]])
 			if err != nil {
 				chunk.PutVector(v)
 				return nil, fmt.Errorf("parse: chunk %d row %d col %d: %w", c.ID, r, col, err)
@@ -130,13 +140,20 @@ func (p *Parser) parseColumn(c *chunk.TextChunk, m *chunk.PositionalMap, col int
 			v.Ints[i] = x
 		}
 	case schema.Float64:
-		for i := 0; i < n; i++ {
-			r := i
-			if rows != nil {
-				r = rows[i]
+		if rows == nil {
+			for i, idx := 0, col; i < n; i, idx = i+1, idx+nc {
+				x, err := ParseFloat(c.Data[starts[idx]:ends[idx]])
+				if err != nil {
+					chunk.PutVector(v)
+					return nil, fmt.Errorf("parse: chunk %d row %d col %d: %w", c.ID, i, col, err)
+				}
+				v.Floats[i] = x
 			}
-			s, e := m.Field(r, col)
-			x, err := ParseFloat(c.Data[s:e])
+			break
+		}
+		for i, r := range rows {
+			idx := r*nc + col
+			x, err := ParseFloat(c.Data[starts[idx]:ends[idx]])
 			if err != nil {
 				chunk.PutVector(v)
 				return nil, fmt.Errorf("parse: chunk %d row %d col %d: %w", c.ID, r, col, err)
@@ -144,29 +161,118 @@ func (p *Parser) parseColumn(c *chunk.TextChunk, m *chunk.PositionalMap, col int
 			v.Floats[i] = x
 		}
 	case schema.Str:
-		for i := 0; i < n; i++ {
-			r := i
-			if rows != nil {
-				r = rows[i]
+		// One backing array for the whole column instead of one allocation
+		// per cell: size it exactly, copy every field into it, and carve
+		// the string headers out of it. The buffer is never mutated after
+		// this loop (capacity is exact, so append never reallocates), which
+		// makes the no-copy headers safe; it stays alive as long as any of
+		// the column's strings do.
+		total := 0
+		if rows == nil {
+			for i, idx := 0, col; i < n; i, idx = i+1, idx+nc {
+				total += int(ends[idx] - starts[idx])
 			}
-			s, e := m.Field(r, col)
-			v.Strs[i] = string(c.Data[s:e])
+		} else {
+			for _, r := range rows {
+				idx := r*nc + col
+				total += int(ends[idx] - starts[idx])
+			}
+		}
+		buf := make([]byte, 0, total)
+		for i := 0; i < n; i++ {
+			idx := i*nc + col
+			if rows != nil {
+				idx = rows[i]*nc + col
+			}
+			s, e := starts[idx], ends[idx]
+			if e == s {
+				v.Strs[i] = ""
+			} else {
+				off := len(buf)
+				buf = append(buf, c.Data[s:e]...)
+				v.Strs[i] = unsafe.String(&buf[off], int(e-s))
+			}
 		}
 	}
 	return v, nil
 }
 
+// pow10 holds the powers of ten that are exactly representable as float64
+// (10^0 .. 10^22). Dividing an exact integer mantissa by an exact power of
+// ten is a single correctly-rounded IEEE operation, so the quotient is the
+// nearest float64 to the decimal value — the same answer strconv computes.
+var pow10 = [...]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
 // ParseFloat converts ASCII bytes into a float64 without allocating on the
-// success path: strconv.ParseFloat wants a string, so the bytes are viewed
-// through a no-copy string header. The view must never escape — errors are
+// success path. Plain decimal forms — an optional sign, digits, at most one
+// dot — take a manual fast path (the overwhelmingly common case in raw
+// files; strconv's full grammar costs ~10x more); everything else
+// (exponents, hex floats, inf/nan, long mantissas) falls back to
+// strconv.ParseFloat. strconv wants a string, so the bytes are viewed
+// through a no-copy string header; the view must never escape — errors are
 // rewritten with a fresh copy of the bytes (strconv's *NumError would
 // otherwise retain the view past the chunk buffer's lifetime).
 func ParseFloat(b []byte) (float64, error) {
+	if x, ok := parseFloatFast(b); ok {
+		return x, nil
+	}
 	x, err := strconv.ParseFloat(unsafe.String(unsafe.SliceData(b), len(b)), 64)
 	if err != nil {
 		return 0, fmt.Errorf("invalid float %q", b)
 	}
 	return x, nil
+}
+
+// parseFloatFast handles sign+digits+one-dot decimals whose value is
+// exactly mant/10^frac with mant < 2^53 (an integer float64 represents
+// exactly) and frac <= 22 (a power of ten float64 represents exactly). Any
+// other input — including >=19 digits, where mant could overflow or lose
+// exactness — reports !ok and defers to strconv. The exactness sweep in
+// parse_test.go asserts bit-identity with strconv over round-trip values.
+func parseFloatFast(b []byte) (float64, bool) {
+	i := 0
+	neg := false
+	if i < len(b) && (b[i] == '-' || b[i] == '+') {
+		neg = b[i] == '-'
+		i++
+	}
+	var mant uint64
+	digits := 0
+	frac := 0
+	sawDot := false
+	sawDigit := false
+	for ; i < len(b); i++ {
+		c := b[i]
+		if d := c - '0'; d <= 9 {
+			if digits >= 19 {
+				return 0, false
+			}
+			mant = mant*10 + uint64(d)
+			digits++
+			sawDigit = true
+			if sawDot {
+				frac++
+			}
+			continue
+		}
+		if c == '.' && !sawDot {
+			sawDot = true
+			continue
+		}
+		return 0, false
+	}
+	if !sawDigit || mant >= 1<<53 {
+		return 0, false
+	}
+	// digits <= 19 bounds frac below len(pow10); both operands are exact.
+	x := float64(mant) / pow10[frac]
+	if neg {
+		x = -x
+	}
+	return x, true
 }
 
 // ParseInt converts decimal ASCII bytes (optional leading '-' or '+') into

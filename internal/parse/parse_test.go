@@ -256,3 +256,61 @@ func TestParseFloatZeroAlloc(t *testing.T) {
 		t.Errorf("ParseFloat allocates %v times per call, want 0", allocs)
 	}
 }
+
+// TestParseFloatExactness sweeps the fast path's input space and asserts
+// bit-identity with strconv.ParseFloat: the fused and two-stage conversion
+// paths must produce the same float bits for every cell, so the fast path
+// is allowed exactly zero rounding divergence. The sweep covers plain
+// decimals across the mantissa-digit and fraction-digit ranges the fast
+// path accepts, the boundaries where it must bail to strconv (>=19 digits,
+// mant >= 2^53), signs, dots in every position, and grammar it must
+// reject.
+func TestParseFloatExactness(t *testing.T) {
+	var inputs []string
+	// Dot in every position of growing digit strings, both signs.
+	digits := "9182736455463728191"
+	for n := 1; n <= len(digits); n++ {
+		d := digits[:n]
+		inputs = append(inputs, d, "-"+d, "+"+d)
+		for dot := 0; dot <= n; dot++ {
+			v := d[:dot] + "." + d[dot:]
+			inputs = append(inputs, v, "-"+v)
+		}
+	}
+	// Mantissa exactness boundary: 2^53 +/- 1 and neighbours.
+	for _, m := range []uint64{1<<53 - 2, 1<<53 - 1, 1 << 53, 1<<53 + 1} {
+		s := strconv.FormatUint(m, 10)
+		inputs = append(inputs, s, "-"+s, s[:10]+"."+s[10:])
+	}
+	// Long fractions: frac climbs past the exact pow10 table (22 entries).
+	for frac := 18; frac <= 25; frac++ {
+		inputs = append(inputs, "0."+strings.Repeat("0", frac-1)+"1")
+	}
+	// Round-trip shortest representations of awkward values.
+	for _, f := range []float64{
+		0.1, 0.2, 0.3, 1.0 / 3.0, math.Pi, 2.2250738585072014e-308,
+		655.35, 0.062561, 8.98846567431158e+15,
+	} {
+		inputs = append(inputs, strconv.FormatFloat(f, 'f', -1, 64))
+	}
+	// Grammar edges: all must agree with strconv on accept/reject too.
+	inputs = append(inputs,
+		"", ".", "-", "+", "-.", ".5", "5.", "-0.0", "+0.0", "00.50",
+		"1..2", "1.2.3", "--1", "1-", "1e5", "1E5", "inf", "nan", "0x1p4",
+	)
+	for _, in := range inputs {
+		want, wantErr := strconv.ParseFloat(in, 64)
+		got, gotErr := ParseFloat([]byte(in))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("ParseFloat(%q): err %v, strconv err %v", in, gotErr, wantErr)
+			continue
+		}
+		if wantErr != nil {
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("ParseFloat(%q) = %x (%v), strconv = %x (%v)",
+				in, math.Float64bits(got), got, math.Float64bits(want), want)
+		}
+	}
+}

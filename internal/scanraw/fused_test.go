@@ -1,0 +1,192 @@
+package scanraw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/engine"
+	"scanraw/internal/schema"
+	"scanraw/internal/vdisk"
+)
+
+// mixedEnv stages a deterministic int64+float64+string CSV so the fused
+// differential tests exercise every kernel, not just the int64 shapes the
+// generated test files use.
+func mixedEnv(t *testing.T, rows int) (*dbstore.Store, *dbstore.Table) {
+	t.Helper()
+	sch := schema.MustNew(
+		schema.Column{Name: "a", Type: schema.Int64},
+		schema.Column{Name: "b", Type: schema.Int64},
+		schema.Column{Name: "f", Type: schema.Float64},
+		schema.Column{Name: "s", Type: schema.Str},
+	)
+	rng := rand.New(rand.NewSource(7))
+	var data []byte
+	for r := 0; r < rows; r++ {
+		data = strconv.AppendInt(data, int64(r), 10)
+		data = append(data, ',')
+		data = strconv.AppendInt(data, rng.Int63n(2000)-1000, 10)
+		data = append(data, ',')
+		data = strconv.AppendFloat(data, rng.NormFloat64()*100, 'f', -1, 64)
+		data = append(data, ',')
+		data = append(data, fmt.Sprintf("row%d", rng.Intn(50))...)
+		if r%7 == 0 {
+			data = append(data, '\r') // CRLF rows ride along
+		}
+		data = append(data, '\n')
+	}
+	d := vdisk.Unlimited()
+	d.Preload("raw/mixed.csv", data)
+	store := dbstore.NewStore(d)
+	table, err := store.CreateTable("data", sch, "raw/mixed.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, table
+}
+
+// runSQL executes one statement on a fresh operator built with cfg.
+func runSQL(t *testing.T, store *dbstore.Store, table *dbstore.Table, cfg Config, sql string) (*engine.Result, RunStats) {
+	t.Helper()
+	q, err := engine.ParseSQL(sql, table.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := ExecuteQuery(New(store, table, cfg), q)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res, st
+}
+
+// requireSameResult compares two engine results cell by cell. Ints and
+// strings must match exactly. Float aggregates are compared with a tight
+// relative tolerance: per-chunk conversion is byte-identical (the kernel
+// package's differential suite proves that), but chunks are delivered to
+// the engine in completion order, so a parallel run's float reduction
+// order — and with it the last couple of ULPs of a SUM — depends on
+// worker scheduling, on the two-stage path just as much as the fused one.
+func requireSameResult(t *testing.T, label string, want, got *engine.Result) {
+	t.Helper()
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: rows %d vs %d", label, len(want.Rows), len(got.Rows))
+	}
+	for ri, wr := range want.Rows {
+		gr := got.Rows[ri]
+		if len(wr) != len(gr) {
+			t.Fatalf("%s: row %d width %d vs %d", label, ri, len(wr), len(gr))
+		}
+		for ci := range wr {
+			w, g := wr[ci], gr[ci]
+			if w.Typ != g.Typ || w.Int != g.Int || w.Str != g.Str {
+				t.Errorf("%s: row %d col %d: %v vs %v", label, ri, ci, w, g)
+				continue
+			}
+			if diff := math.Abs(w.Float - g.Float); diff > 1e-9*math.Max(1, math.Abs(w.Float)) {
+				t.Errorf("%s: row %d col %d: float %v vs %v", label, ri, ci, w.Float, g.Float)
+			}
+		}
+	}
+}
+
+// TestFusedMatchesTwoStage runs the same queries through the fused and
+// two-stage conversion paths — across sequential (0 workers) and pipeline
+// execution, push-down-friendly predicates, and every kernel family — and
+// demands identical results.
+func TestFusedMatchesTwoStage(t *testing.T) {
+	queries := []string{
+		"SELECT SUM(a), SUM(b), COUNT(*) FROM data",      // int64 kernels
+		"SELECT SUM(f), MIN(f), MAX(f) FROM data",        // float path
+		"SELECT COUNT(*) FROM data WHERE b < 0",          // predicate
+		"SELECT SUM(a+b) FROM data WHERE s LIKE 'row1%'", // string column
+		"SELECT SUM(b) FROM data WHERE a < 100",          // selective subset
+	}
+	for _, workers := range []int{0, 4} {
+		for _, sql := range queries {
+			t.Run(fmt.Sprintf("workers=%d/%s", workers, sql), func(t *testing.T) {
+				base := Config{Workers: workers, ChunkLines: 64, CacheChunks: 4, Policy: ExternalTables}
+
+				offStore, offTable := mixedEnv(t, 500)
+				offCfg := base
+				offCfg.FusedKernels = FusedOff
+				want, _ := runSQL(t, offStore, offTable, offCfg, sql)
+
+				onStore, onTable := mixedEnv(t, 500)
+				got, _ := runSQL(t, onStore, onTable, base, sql)
+				requireSameResult(t, sql, want, got)
+			})
+		}
+	}
+}
+
+// TestFusedProfileSkipsTokenize pins the accounting rule: under fused
+// conversion the TOKENIZE stage never runs (no positional map exists), and
+// all conversion time lands on PARSE.
+func TestFusedProfileSkipsTokenize(t *testing.T) {
+	store, table := mixedEnv(t, 500)
+	_, st := runSQL(t, store, table, Config{Workers: 2, ChunkLines: 64, CacheChunks: 4, Policy: ExternalTables},
+		"SELECT SUM(a), SUM(f) FROM data")
+	if st.Profile.Tokenize.Chunks != 0 || st.Profile.Tokenize.Time != 0 {
+		t.Errorf("fused run tokenized: %+v", st.Profile.Tokenize)
+	}
+	if st.Profile.Parse.Chunks != int64(st.DeliveredRaw) {
+		t.Errorf("parse chunks %d, delivered raw %d", st.Profile.Parse.Chunks, st.DeliveredRaw)
+	}
+}
+
+// TestFusedFallsBackForPositionalMapCache: a query run configured to cache
+// positional maps needs the map the fused path never materializes, so the
+// operator must silently fall back to two-stage conversion — observable as
+// non-zero TOKENIZE activity — and stay correct.
+func TestFusedFallsBackForPositionalMapCache(t *testing.T) {
+	store, table := mixedEnv(t, 500)
+	cfg := Config{
+		Workers: 2, ChunkLines: 64, CacheChunks: 4, Policy: ExternalTables,
+		CachePositionalMaps: true, PositionalMapCacheChunks: 16,
+	}
+	res, st := runSQL(t, store, table, cfg, "SELECT SUM(a), SUM(b) FROM data")
+	if st.Profile.Tokenize.Chunks == 0 {
+		t.Error("positional-map caching must force the two-stage path")
+	}
+	offStore, offTable := mixedEnv(t, 500)
+	offCfg := cfg
+	offCfg.FusedKernels = FusedOff
+	want, _ := runSQL(t, offStore, offTable, offCfg, "SELECT SUM(a), SUM(b) FROM data")
+	requireSameResult(t, "pm-cache fallback", want, res)
+}
+
+// TestFusedSpeculativeLoadRoundTrip drives the full load-then-reread
+// cycle under fused conversion: chunks converted by a kernel are written
+// to the database and must read back identical.
+func TestFusedSpeculativeLoadRoundTrip(t *testing.T) {
+	store, table := mixedEnv(t, 500)
+	cfg := Config{Workers: 2, ChunkLines: 64, CacheChunks: 2, Policy: Speculative, Safeguard: true}
+	op := New(store, table, cfg)
+	sql := "SELECT SUM(a), SUM(b), SUM(f) FROM data"
+	q, err := engine.ParseSQL(sql, table.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := ExecuteQuery(op, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.WaitIdle()
+	// Re-run until everything is served from the cache and the database.
+	for i := 0; i < 8; i++ {
+		res, st, err := ExecuteQuery(op, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, fmt.Sprintf("pass %d", i), first, res)
+		op.WaitIdle()
+		if st.DeliveredRaw == 0 {
+			return
+		}
+	}
+	t.Error("speculative loading never converged to zero raw chunks")
+}

@@ -10,6 +10,7 @@ import (
 
 	"scanraw/internal/chunk"
 	"scanraw/internal/dbstore"
+	"scanraw/internal/kernel"
 )
 
 // hookRun is a test-only observation point invoked with the pipeline state
@@ -31,6 +32,12 @@ type run struct {
 	del *deliverer // CONSUME stage: serial pass-through or fan-out
 
 	upTo int // attributes to tokenize: max required ordinal + 1
+
+	// kern, when non-nil, is the fused conversion kernel for this run's
+	// column set: text chunks skip TOKENIZE (they flow through the position
+	// buffer with a nil map) and the parse task converts in one pass. The
+	// fused time is accounted to the Parse stage; Tokenize stays zero.
+	kern *kernel.Kernel
 
 	done    chan struct{} // closed on first error
 	errOnce sync.Once
@@ -68,6 +75,18 @@ type run struct {
 	satisfied atomic.Bool
 	satOnce   sync.Once
 	satCh     chan struct{}
+
+	// Fused-kernel slow start (demand-driven runs only). A fused pipeline
+	// has no tokenize stage competing for workers, so the position buffer
+	// fills instantly and every worker would commit to a full conversion
+	// before the first delivery can reveal the demand is already
+	// satisfied — for a LIMIT that triples the work a two-stage pipeline
+	// strands in flight. Until a consumed delivery proves more chunks are
+	// needed (rampOpen closes), admission is capped at the rampSlots
+	// window.
+	rampSlots chan struct{}
+	rampOpen  chan struct{}
+	rampOnce  sync.Once
 
 	invisibleLeft atomic.Int64
 
@@ -120,6 +139,21 @@ func (r *run) fail(err error) {
 		}
 		r.gate.broadcast()
 	})
+}
+
+// fusedRampWindow caps how many fused conversions run concurrently before
+// the first consumed delivery shows the demand wants more than one chunk.
+// Two keeps a successor warm behind the chunk whose consume answers the
+// question, without committing the whole worker pool to speculation.
+const fusedRampWindow = 2
+
+// openRamp lifts the fused slow-start cap: a delivery was consumed and the
+// demand is still unsatisfied, so speculating with every worker is justified.
+func (r *run) openRamp() {
+	if r.rampOpen == nil {
+		return
+	}
+	r.rampOnce.Do(func() { close(r.rampOpen) })
 }
 
 // demandSatisfied polls the request's Satisfied signal, latching the result
@@ -418,6 +452,7 @@ func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer,
 		req:          req,
 		del:          del,
 		upTo:         req.Columns[len(req.Columns)-1] + 1,
+		kern:         o.fusedKernel(req.Columns),
 		done:         make(chan struct{}),
 		freeText:     make(chan struct{}, o.cfg.TextBufferChunks),
 		textBuf:      make(chan *chunk.TextChunk, o.cfg.TextBufferChunks),
@@ -434,6 +469,13 @@ func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer,
 	}
 	if req.Satisfied != nil {
 		r.satCh = make(chan struct{})
+		if r.kern != nil {
+			r.rampOpen = make(chan struct{})
+			r.rampSlots = make(chan struct{}, fusedRampWindow)
+			for i := 0; i < fusedRampWindow; i++ {
+				r.rampSlots <- struct{}{}
+			}
+		}
 	}
 	r.invisibleLeft.Store(int64(o.cfg.InvisibleChunksPerQuery))
 	for i := 0; i < o.cfg.TextBufferChunks; i++ {
@@ -508,8 +550,11 @@ func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer,
 			r.gate.broadcast()
 			r.poke()
 			// Consume finished: the natural point to notice the demand is
-			// now satisfied and latch the termination signal.
-			r.demandSatisfied()
+			// now satisfied and latch the termination signal — or, if it
+			// is not, to release the fused slow-start throttle.
+			if !r.demandSatisfied() {
+				r.openRamp()
+			}
 		})
 		if err := r.del.failedErr(); err != nil {
 			r.fail(err)
@@ -696,6 +741,18 @@ func (r *run) tokenizeConsumer() {
 		case <-r.done:
 			continue
 		}
+		if r.kern != nil {
+			// Fused kernels collapse TOKENIZE into the parse task: the
+			// chunk flows through the position buffer untokenized (nil
+			// map), keeping the buffer's back-pressure semantics without
+			// spending a worker here.
+			select {
+			case r.posBuf <- posItem{tc: tc}:
+			case <-r.done:
+				r.freePos <- struct{}{}
+			}
+			continue
+		}
 		var slot *workerSlot
 		select {
 		case slot = <-r.workers:
@@ -750,17 +807,54 @@ func (r *run) parseConsumer() {
 		case <-r.done:
 			r.op.releaseMap(item.tc.ID, item.pm)
 			continue
+		case <-r.satCh:
+			r.op.releaseMap(item.tc.ID, item.pm)
+			continue
+		}
+		// The wait for binary-buffer space can span the delivery that
+		// satisfies the demand (its consume frees the space this select
+		// waits for); converting the chunk then would be pure waste — under
+		// fused kernels a full tokenize+parse of dead weight.
+		if r.satisfied.Load() {
+			r.op.releaseMap(item.tc.ID, item.pm)
+			r.freeBin <- struct{}{}
+			continue
+		}
+		// Fused slow start: until a consumed delivery proves the demand
+		// outlives the first chunk, hold admission to the ramp window.
+		ramped := false
+		if r.rampOpen != nil {
+			select {
+			case <-r.rampOpen:
+			default:
+				select {
+				case <-r.rampOpen:
+				case <-r.rampSlots:
+					ramped = true
+				case <-r.done:
+					r.op.releaseMap(item.tc.ID, item.pm)
+					r.freeBin <- struct{}{}
+					continue
+				case <-r.satCh:
+					r.op.releaseMap(item.tc.ID, item.pm)
+					r.freeBin <- struct{}{}
+					continue
+				}
+			}
 		}
 		var slot *workerSlot
 		select {
 		case slot = <-r.workers:
 		case <-r.done:
+			if ramped {
+				r.rampSlots <- struct{}{}
+			}
 			r.op.releaseMap(item.tc.ID, item.pm)
 			r.freeBin <- struct{}{}
 			continue
 		}
 		r.parseWG.Add(1)
-		go r.parseTask(item, slot)
+		go r.parseTask(item, slot, ramped)
 	}
 	r.parseWG.Wait()
 	if r.writeQ != nil {
@@ -769,12 +863,22 @@ func (r *run) parseConsumer() {
 	close(r.convDone)
 }
 
-func (r *run) parseTask(item posItem, slot *workerSlot) {
+func (r *run) parseTask(item posItem, slot *workerSlot, ramped bool) {
 	defer r.parseWG.Done()
+	if ramped {
+		// rampSlots never exceeds its buffered window, so this cannot block.
+		defer func() { r.rampSlots <- struct{}{} }()
+	}
 	o := r.op
 	var bc *BinaryChunk
 	var err error
-	d := o.cpuWork(slot, func() { bc, err = o.parser.Parse(item.tc, item.pm, r.req.Columns) })
+	d := o.cpuWork(slot, func() {
+		if r.kern != nil {
+			bc, err = r.kern.Convert(item.tc)
+		} else {
+			bc, err = o.parser.Parse(item.tc, item.pm, r.req.Columns)
+		}
+	})
 	o.prof.parseNs.Add(int64(d))
 	r.workers <- slot
 	if err != nil {

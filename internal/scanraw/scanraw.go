@@ -33,10 +33,25 @@ import (
 	"scanraw/internal/cache"
 	"scanraw/internal/chunk"
 	"scanraw/internal/dbstore"
+	"scanraw/internal/kernel"
 	"scanraw/internal/metrics"
 	"scanraw/internal/parse"
 	storepkg "scanraw/internal/store"
 	"scanraw/internal/tok"
+)
+
+// FusedMode selects whether conversion may use the fused per-schema kernels
+// of internal/kernel, which collapse TOKENIZE+PARSE into one pass over the
+// chunk bytes.
+type FusedMode uint8
+
+const (
+	// FusedAuto — the default — converts with a fused kernel whenever one
+	// is compatible with the query, falling back to the two-stage
+	// tok+parse path otherwise (see Operator.fusedKernel for the rules).
+	FusedAuto FusedMode = iota
+	// FusedOff always uses the two-stage tok+parse path.
+	FusedOff
 )
 
 // WritePolicy selects the scheduler's WRITE behaviour (§3.1: "The
@@ -153,6 +168,11 @@ type Config struct {
 	// serial delivery contract; values > 1 require Deliver callbacks that
 	// tolerate concurrent calls (engine.ParallelExecutor does).
 	ConsumeWorkers int
+	// FusedKernels selects the fused single-pass conversion kernels
+	// (internal/kernel). FusedAuto — the zero value, so fused conversion
+	// is on by default — falls back to tok+parse automatically whenever
+	// the query needs a cacheable positional map (CachePositionalMaps).
+	FusedKernels FusedMode
 }
 
 func (c Config) withDefaults() Config {
@@ -452,6 +472,29 @@ func (o *Operator) tokenizeChunk(slot *workerSlot, tc *chunk.TextChunk, upTo int
 	o.prof.tokChunks.Add(1)
 	o.storeMap(tc.ID, pm)
 	return pm, nil
+}
+
+// fusedKernel returns the fused conversion kernel for the requested column
+// set, or nil when conversion must run the two-stage tok+parse path:
+//
+//   - FusedKernels is FusedOff (the -fused=false escape hatch), or
+//   - the positional-map cache is enabled. A fused kernel never
+//     materializes the positional map, so there would be nothing to cache
+//     — and a later query widening a cached partial map (tok.Extend)
+//     needs the tok path's bookkeeping. The two optimizations target the
+//     same redundant work; the explicit cache wins when it is on.
+//
+// The kernel registry always has a generic fused fallback, so selection
+// only fails on requests the operator would itself reject.
+func (o *Operator) fusedKernel(cols []int) *kernel.Kernel {
+	if o.cfg.FusedKernels == FusedOff || o.pmCache != nil {
+		return nil
+	}
+	k, err := kernel.For(o.table.Schema(), cols, o.cfg.Delim)
+	if err != nil {
+		return nil
+	}
+	return k
 }
 
 // Config returns the operator's effective configuration.

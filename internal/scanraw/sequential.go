@@ -18,6 +18,7 @@ func (o *Operator) runSequential(ctx context.Context, req Request, del *delivere
 		req:     req,
 		del:     del,
 		upTo:    req.Columns[len(req.Columns)-1] + 1,
+		kern:    o.fusedKernel(req.Columns),
 		done:    make(chan struct{}),
 		seqSlot: &workerSlot{},
 		gate:    gate,
@@ -135,17 +136,27 @@ func (r *run) insertAndDeliver(bc *BinaryChunk, loaded bool) error {
 func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
 	o := r.op
 	var bc *BinaryChunk
-	pm, err := o.tokenizeChunk(r.seqSlot, tc, r.upTo)
-	if err != nil {
-		return err
-	}
-	d := o.cpuWork(r.seqSlot, func() { bc, err = o.parser.Parse(tc, pm, r.req.Columns) })
-	o.prof.parseNs.Add(int64(d))
-	if err != nil {
+	var err error
+	if r.kern != nil {
+		// Fused conversion: one pass, no positional map; accounted to the
+		// Parse stage (Tokenize stays zero under fused kernels).
+		d := o.cpuWork(r.seqSlot, func() { bc, err = r.kern.Convert(tc) })
+		o.prof.parseNs.Add(int64(d))
+		if err != nil {
+			return err
+		}
+	} else {
+		pm, terr := o.tokenizeChunk(r.seqSlot, tc, r.upTo)
+		if terr != nil {
+			return terr
+		}
+		d := o.cpuWork(r.seqSlot, func() { bc, err = o.parser.Parse(tc, pm, r.req.Columns) })
+		o.prof.parseNs.Add(int64(d))
 		o.releaseMap(tc.ID, pm)
-		return err
+		if err != nil {
+			return err
+		}
 	}
-	o.releaseMap(tc.ID, pm)
 	o.prof.parseChunks.Add(1)
 	if o.cfg.CollectStats {
 		if err := r.recordStats(bc); err != nil {

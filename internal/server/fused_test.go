@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scanraw/internal/scanraw"
+)
+
+// newFusedPair builds two identical served tables, one converting with
+// fused kernels (the default) and one forced onto the two-stage path.
+func newFusedPair(t *testing.T, workers int) (fused, twoStage *serverEnv) {
+	t.Helper()
+	off := scanraw.Config{Workers: workers, CacheChunks: 8, FusedKernels: scanraw.FusedOff}
+	on := scanraw.Config{Workers: workers, CacheChunks: 8}
+	twoStage = newServerEnv(t, 512, nil, Config{}, off)
+	fused = newServerEnv(t, 512, nil, Config{}, on)
+	return fused, twoStage
+}
+
+// TestFusedServingMatchesJSON: the JSON /query responses must carry
+// identical columns and rows regardless of the conversion path. Stats are
+// excluded — they report wall-clock timings.
+func TestFusedServingMatchesJSON(t *testing.T) {
+	queries := []string{
+		sumSQL,
+		"SELECT COUNT(*), MIN(c1), MAX(c2) FROM data WHERE c0 < 500",
+		"SELECT c0, SUM(c1) FROM data WHERE c3 > 100 GROUP BY c0 ORDER BY c0 LIMIT 5",
+	}
+	for _, workers := range []int{0, 4} {
+		fused, twoStage := newFusedPair(t, workers)
+		for _, sql := range queries {
+			body := fmt.Sprintf(`{"sql": %q}`, sql)
+			stOff, outOff := postQuery(t, twoStage, body)
+			stOn, outOn := postQuery(t, fused, body)
+			if stOff != http.StatusOK || stOn != http.StatusOK {
+				t.Fatalf("workers=%d %s: status %d vs %d (%v / %v)", workers, sql, stOff, stOn, outOff, outOn)
+			}
+			if !reflect.DeepEqual(outOff["columns"], outOn["columns"]) {
+				t.Errorf("workers=%d %s: columns %v vs %v", workers, sql, outOff["columns"], outOn["columns"])
+			}
+			if !reflect.DeepEqual(outOff["rows"], outOn["rows"]) {
+				t.Errorf("workers=%d %s: rows differ:\n two-stage: %v\n fused:     %v", workers, sql, outOff["rows"], outOn["rows"])
+			}
+		}
+	}
+}
+
+// ndjsonLines POSTs a streaming query and returns every emitted line
+// except the stats trailer (wall-clock timings differ run to run).
+func ndjsonLines(t *testing.T, env *serverEnv, sql string) []string {
+	t.Helper()
+	resp, err := http.Post(env.ts.URL+"/query?stream=ndjson", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"sql": %q}`, sql)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, `{"stats"`) {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestFusedServingMatchesNDJSON compares the streamed byte output of both
+// conversion paths line for line. ORDER BY pins the emission order so the
+// comparison is deterministic under parallel conversion.
+func TestFusedServingMatchesNDJSON(t *testing.T) {
+	fused, twoStage := newFusedPair(t, 4)
+	sql := "SELECT c0, c1 FROM data WHERE c2 < 300 ORDER BY c0, c1 LIMIT 50"
+	want := ndjsonLines(t, twoStage, sql)
+	got := ndjsonLines(t, fused, sql)
+	if len(want) != len(got) {
+		t.Fatalf("line count %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("line %d:\n two-stage: %s\n fused:     %s", i, want[i], got[i])
+		}
+	}
+	if len(want) < 2 {
+		t.Fatalf("stream too short (%d lines) to prove anything", len(want))
+	}
+}

@@ -205,8 +205,14 @@ func (d *recDecoder) str() string {
 // count decodes a non-negative bounded integer (chunk IDs, row counts).
 func (d *recDecoder) count(limit uint64, what string) int {
 	v := d.uvar()
-	if d.err == nil && v > limit {
+	if d.err != nil {
+		return 0
+	}
+	if v > limit {
 		d.fail("store: %s %d exceeds limit %d", what, v, limit)
+		// Return 0, not the oversized value: callers size allocations by
+		// this count, and the count must never outlive the failure.
+		return 0
 	}
 	return int(v)
 }

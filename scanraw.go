@@ -100,6 +100,9 @@ type Options struct {
 	// per query (parallel delivery). The default (0) keeps the classic
 	// serial consume path.
 	ConsumeWorkers int
+	// NoFusedKernels disables the fused per-schema conversion kernels and
+	// forces the classic two-stage tokenize→parse path for every chunk.
+	NoFusedKernels bool
 }
 
 // Result is a materialized query result.
@@ -221,7 +224,7 @@ func (db *DB) operatorConfig(table string) intscan.Config {
 	case workers < 0:
 		workers = 0
 	}
-	return intscan.Config{
+	cfg := intscan.Config{
 		Workers:         workers,
 		ChunkLines:      db.opts.ChunkLines,
 		CacheChunks:     db.opts.CacheChunks,
@@ -232,6 +235,10 @@ func (db *DB) operatorConfig(table string) intscan.Config {
 		AdaptiveWorkers: db.opts.AdaptiveWorkers,
 		ConsumeWorkers:  db.opts.ConsumeWorkers,
 	}
+	if db.opts.NoFusedKernels {
+		cfg.FusedKernels = intscan.FusedOff
+	}
+	return cfg
 }
 
 // EstimateRange returns the catalog's cardinality estimate for how many

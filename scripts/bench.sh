@@ -1,11 +1,14 @@
 #!/bin/sh
 # Runs the benchmark suite over the hot packages and records the results as
-# JSON in BENCH_pr6.json: one object per benchmark with ns/op plus the
-# derived headline ratios — serial-vs-parallel consume speedup, the
-# full-scan-vs-early-termination speedup for a streamed LIMIT query, and
-# the distributed-vs-single-node latency ratio for a scatter-gathered
-# GROUP BY (distributed_merge_overhead; < 1 means the parallel fleet scan
-# outruns the codec + HTTP + merge cost).
+# JSON in BENCH_pr7.json (override with BENCH_OUT): one object per
+# benchmark with ns/op plus the derived headline ratios —
+# serial-vs-parallel consume speedup, the full-scan-vs-early-termination
+# speedup for a streamed LIMIT query, the distributed-vs-single-node
+# latency ratio for a scatter-gathered GROUP BY
+# (distributed_merge_overhead; < 1 means the parallel fleet scan outruns
+# the codec + HTTP + merge cost), and the fused-vs-two-stage conversion
+# speedup (convert_kernel_speedup: BenchmarkTokParseChunk64 over
+# BenchmarkFusedChunk64 on the same 64-column chunk).
 #
 # Each benchmark runs -count times and the best run is recorded: the
 # minimum is the least contaminated by scheduler noise on a shared
@@ -25,12 +28,12 @@ case "${GOFLAGS:-}" in
     exit 1
     ;;
 esac
-OUT=BENCH_pr6.json
+OUT=${BENCH_OUT:-BENCH_pr7.json}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 $GO test -run xxx -bench . -benchmem -benchtime 20x -count "$COUNT" \
-    ./internal/tok/ ./internal/parse/ ./internal/engine/ | tee "$TMP"
+    ./internal/tok/ ./internal/parse/ ./internal/kernel/ ./internal/engine/ | tee "$TMP"
 $GO test -run xxx -bench 'BenchmarkConsume|BenchmarkLimit' -benchtime 10x -count "$COUNT" \
     ./internal/scanraw/ | tee -a "$TMP"
 $GO test -run xxx -bench 'BenchmarkSingleNodeQuery|BenchmarkDistributedQuery' -benchtime 10x -count "$COUNT" \
@@ -66,6 +69,8 @@ END {
         if (name ~ /^BenchmarkLimitEarlyTerm/) early = best[name]
         if (name ~ /^BenchmarkSingleNodeQuery/) single = best[name]
         if (name ~ /^BenchmarkDistributedQuery/) dist = best[name]
+        if (name ~ /^BenchmarkFusedChunk64/) fused = best[name]
+        if (name ~ /^BenchmarkTokParseChunk64/) tokparse = best[name]
     }
     print "  ],"
     if (serial > 0 && par > 0)
@@ -74,6 +79,8 @@ END {
         printf "  \"limit_early_term_speedup\": %.2f,\n", full / early
     if (single > 0 && dist > 0)
         printf "  \"distributed_merge_overhead\": %.2f,\n", dist / single
+    if (fused > 0 && tokparse > 0)
+        printf "  \"convert_kernel_speedup\": %.2f,\n", tokparse / fused
     printf "  \"date\": \"%s\"\n", strftime("%Y-%m-%d")
     print "}"
 }' "$TMP" > "$OUT"

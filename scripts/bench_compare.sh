@@ -2,10 +2,14 @@
 # Compares the two most recent BENCH_*.json files (by name, which sorts by
 # PR number) and fails when a named hot-path benchmark regressed by more
 # than 20% in ns/op. Benchmarks present in only one file are skipped —
-# each PR may add new ones.
+# each PR may add new ones. Additionally enforces an absolute floor on the
+# newest file's convert_kernel_speedup headline: fused conversion must
+# stay at least KERNEL_FLOOR times faster than the two-stage path (skipped
+# when the file predates the metric).
 set -e
 THRESHOLD=${THRESHOLD:-1.20}
-HOT='BenchmarkConsumeSerial|BenchmarkConsumeParallel8|BenchmarkLimitFullScan|BenchmarkLimitEarlyTerm|BenchmarkTokenizeChunk64|BenchmarkParseChunk64|BenchmarkScalarSum|BenchmarkGroupBy'
+KERNEL_FLOOR=${KERNEL_FLOOR:-1.5}
+HOT='BenchmarkConsumeSerial|BenchmarkConsumeParallel8|BenchmarkLimitFullScan|BenchmarkLimitEarlyTerm|BenchmarkTokenizeChunk64|BenchmarkParseChunk64|BenchmarkFusedChunk64|BenchmarkScalarSum|BenchmarkGroupBy'
 
 files=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2)
 if [ "$(echo "$files" | grep -c .)" -lt 2 ]; then
@@ -48,3 +52,21 @@ BEGIN {
     if (n == 0) print "no hot-path benchmarks in common; nothing compared"
     exit fail
 }'
+
+# Floor check on the newest file's fused-kernel headline ratio.
+awk -v floor="$KERNEL_FLOOR" '
+/"convert_kernel_speedup"/ {
+    match($0, /[0-9.]+/)
+    speedup = substr($0, RSTART, RLENGTH) + 0
+    found = 1
+}
+END {
+    if (!found) {
+        print "convert_kernel_speedup absent; floor check skipped"
+        exit 0
+    }
+    verdict = "ok"
+    if (speedup < floor) { verdict = "BELOW FLOOR"; fail = 1 }
+    printf "convert_kernel_speedup %.2fx (floor %.1fx) %s\n", speedup, floor, verdict
+    exit fail
+}' "$new"
