@@ -27,7 +27,7 @@ test:
 # (parallel partial executors + differential test), and the cluster layer
 # (coordinator fan-out + distributed differential test).
 race:
-	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/... ./internal/kernel/...
+	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/... ./internal/kernel/... ./internal/workload/...
 
 # Project-specific static analysis (pin balance, pool pairing, goroutine
 # exits, context threading, channel ops under locks). Stdlib-only; see
@@ -56,6 +56,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodePartial -fuzztime=5s ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrameMessage -fuzztime=5s ./internal/cluster
 	$(GO) test -run='^$$' -fuzz=FuzzFusedKernel -fuzztime=5s ./internal/kernel
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeColGroupKey -fuzztime=5s ./internal/dbstore
 
 # bench runs the benchmark suite across the hot packages and records the
 # raw output in BENCH_pr3.json (see README). bench-compare diffs the two

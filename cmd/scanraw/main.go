@@ -80,6 +80,8 @@ func main() {
 		consumeW  = flag.Int("consume-workers", 1, "consume goroutines per query (parallel evaluation)")
 		chunk     = flag.Int("chunk", 1<<13, "lines per chunk")
 		cacheSz   = flag.Int("cache", 32, "binary cache capacity in chunks")
+		colGroups = flag.Int("colgroups", 1, "column-group width for database pages (1 = per-column, 0 = full chunk width)")
+		specStr   = flag.String("spec-policy", "payoff", "speculative loading order: payoff (workload-ranked) or scan (file order)")
 		diskMBps  = flag.Int("disk", 400, "simulated disk bandwidth in MB/s (0 = unthrottled)")
 		delim     = flag.String("delim", ",", "field delimiter")
 		stats     = flag.Bool("stats", true, "collect min/max statistics while converting")
@@ -104,6 +106,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scanraw: %v\n", err)
 		os.Exit(2)
 	}
+	spec, err := scanraw.ParseSpecPolicy(*specStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scanraw: %v\n", err)
+		os.Exit(2)
+	}
 
 	data, err := os.ReadFile(*file)
 	if err != nil {
@@ -118,6 +125,7 @@ func main() {
 	disk := vdisk.New(cfg)
 	disk.Preload("raw/input", data)
 	store := dbstore.NewStore(disk)
+	store.SetGroupWidth(*colGroups)
 	table, err := store.CreateTable("data", sch, "raw/input")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scanraw: %v\n", err)
@@ -135,6 +143,7 @@ func main() {
 		Delim:           delimByte,
 		CollectStats:    *stats,
 		ConsumeWorkers:  *consumeW,
+		Speculation:     spec,
 	}
 	if !*fused {
 		opCfg.FusedKernels = scanraw.FusedOff

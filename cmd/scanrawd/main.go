@@ -197,6 +197,8 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "persist loaded data and catalog under this directory (empty = in-memory only)")
 		stats      = flag.Bool("stats", true, "collect min/max statistics while converting")
 		fused      = flag.Bool("fused", true, "use fused per-schema conversion kernels (one-pass tokenize+parse)")
+		colGroups  = flag.Int("colgroups", 1, "column-group width for database pages (1 = per-column, 0 = full chunk width)")
+		specPolicy = flag.String("spec-policy", "payoff", "speculative loading order: payoff (workload-ranked) or scan (file order)")
 		maxConc    = flag.Int("max-concurrent", 32, "admission slots: queries in flight before 429")
 		coalesce   = flag.Duration("coalesce", 2*time.Millisecond, "coalescing window for shared scans (negative disables)")
 		timeout    = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
@@ -228,6 +230,10 @@ func main() {
 		os.Exit(2)
 	}
 	policy, err := parsePolicy(*policyStr)
+	if err != nil {
+		log.Fatalf("scanrawd: %v", err)
+	}
+	spec, err := scanraw.ParseSpecPolicy(*specPolicy)
 	if err != nil {
 		log.Fatalf("scanrawd: %v", err)
 	}
@@ -285,6 +291,7 @@ func main() {
 			rec.TablesRecovered, *dataDir, rec.ChunksRecovered, rec.ChunksInvalidated,
 			rec.Replay.TornBytes, rec.RecoveryMS)
 	}
+	store.SetGroupWidth(*colGroups)
 	srv := server.New(store, server.Config{
 		MaxConcurrent:  *maxConc,
 		CoalesceWindow: *coalesce,
@@ -342,6 +349,7 @@ func main() {
 			Delim:           delim,
 			CollectStats:    *stats,
 			ConsumeWorkers:  *consumeW,
+			Speculation:     spec,
 		}
 		if !*fused {
 			tblCfg.FusedKernels = scanraw.FusedOff

@@ -78,16 +78,23 @@ func counter(m map[string]any, key string) int64 {
 // newWorker builds a worker serving csv as table "data" with the given
 // chunk geometry.
 func newWorker(t testing.TB, csv []byte, chunkLines int) *workerEnv {
+	return newWorkerCfg(t, csv, 1, scanraw.Config{Workers: 2, ChunkLines: chunkLines, CacheChunks: 64})
+}
+
+// newWorkerCfg is newWorker with an explicit column-group width and
+// operator config, for fleets exercising the colgroup storage layout.
+func newWorkerCfg(t testing.TB, csv []byte, groupWidth int, opCfg scanraw.Config) *workerEnv {
 	t.Helper()
 	d := vdisk.Unlimited()
 	d.Preload("raw/data.csv", csv)
 	store := dbstore.NewStore(d)
+	store.SetGroupWidth(groupWidth)
 	table, err := store.CreateTable("data", fleetSpec.Schema(), "raw/data.csv")
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := server.New(store, server.Config{})
-	if err := s.AddTable(table, scanraw.Config{Workers: 2, ChunkLines: chunkLines, CacheChunks: 64}); err != nil {
+	if err := s.AddTable(table, opCfg); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
@@ -287,6 +294,45 @@ func TestDistributedDifferentialSplit(t *testing.T) {
 	_, coTS := newCoordinator(t, fc, testClusterConfig())
 	ref := newWorker(t, gen.Bytes(fleetSpec), 25)
 	for _, sql := range differentialQueries(2) {
+		diffQuery(t, coTS.URL, ref.ts.URL, sql)
+	}
+}
+
+// TestDistributedDifferentialColGroups: a fleet whose workers store
+// column-group pages (width 2) under payoff-ranked speculative loading vs
+// a plain full-suite reference worker. A narrow warm-up query loads some
+// groups on every worker, so the differential suite afterwards runs over
+// mixed cold/partial/loaded chunks — the wire must stay byte-identical
+// regardless of which groups each worker's speculation chose to write.
+func TestDistributedDifferentialColGroups(t *testing.T) {
+	csv := gen.Bytes(fleetSpec)
+	opCfg := scanraw.Config{
+		Workers: 2, ChunkLines: 25, CacheChunks: 8,
+		Policy: scanraw.Speculative, Safeguard: true, CollectStats: true,
+		Speculation: scanraw.SpecPayoff,
+	}
+	workers := []*workerEnv{
+		newWorkerCfg(t, csv, 2, opCfg),
+		newWorkerCfg(t, csv, 2, opCfg),
+		newWorkerCfg(t, csv, 2, opCfg),
+	}
+	fc := cluster.FleetConfig{
+		Peers: []cluster.PeerConfig{
+			{Addr: workers[0].addr(), Owns: []cluster.OwnConfig{{Table: "data", Lo: 0, Hi: 8}}},
+			{Addr: workers[1].addr(), Owns: []cluster.OwnConfig{{Table: "data", Lo: 8, Hi: 16}}},
+			{Addr: workers[2].addr(), Owns: []cluster.OwnConfig{{Table: "data", Lo: 16, Hi: 0}}},
+		},
+		Tables: map[string]cluster.TableConfig{"data": {Schema: fleetSchema}},
+	}
+	_, coTS := newCoordinator(t, fc, testClusterConfig())
+	ref := newWorker(t, csv, 25)
+
+	// Warm-up: a narrow query records workload on every worker and loads
+	// the {c2,c3} group (width 2) across the shards it touches.
+	if status, out := postWire(t, coTS.URL, "SELECT SUM(c2) FROM data"); status != http.StatusOK {
+		t.Fatalf("warm-up query: status %d (%s)", status, out.Error)
+	}
+	for _, sql := range differentialQueries(3) {
 		diffQuery(t, coTS.URL, ref.ts.URL, sql)
 	}
 }

@@ -1,0 +1,300 @@
+package dbstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"scanraw/internal/chunk"
+)
+
+// Column-group pages. A page holds the vectors of a *set* of columns of one
+// chunk, and the set is encoded in the page's blob name, so the on-disk
+// layout is self-describing: recovery learns each page's column membership
+// from the journal (RecLoadedGroup records carry the ordinals) and the page
+// name is derived deterministically from that set. The group width is a
+// store-level policy knob (SetGroupWidth): width 1 reproduces the classic
+// one-page-per-column layout, larger widths amortize per-page overhead for
+// columns that are always queried together, and width 0 stores the whole
+// chunk as a single full-width page (the layout the source paper describes,
+// kept as the benchmark baseline).
+//
+// Pages written before column groups existed (one blob per column, named by
+// the bare ordinal) replay as *legacy* singleton groups and remain readable;
+// see GroupState.Legacy.
+
+// maxGroupCols bounds a decoded group's column count; mirrors the store
+// package's record limits. A key exceeding it is corruption, not data.
+const maxGroupCols = 1 << 14
+
+// EncodeColGroupKey renders a strictly-increasing list of column ordinals
+// as the compact key used in page blob names: maximal runs of consecutive
+// ordinals render as "lo-hi", singletons as the bare ordinal, joined by
+// ".". For example {0,1,2,5} encodes as "0-2.5".
+func EncodeColGroupKey(cols []int) string {
+	var b strings.Builder
+	for i := 0; i < len(cols); {
+		j := i
+		for j+1 < len(cols) && cols[j+1] == cols[j]+1 {
+			j++
+		}
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		fmt.Fprintf(&b, "%d", cols[i])
+		if j > i {
+			fmt.Fprintf(&b, "-%d", cols[j])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// DecodeColGroupKey inverts EncodeColGroupKey. It is total and strict: any
+// input either yields the unique strictly-increasing ordinal list that
+// re-encodes to the same key, or an error — never a panic. Strictness makes
+// the key canonical, so one column set maps to exactly one page name.
+func DecodeColGroupKey(key string) ([]int, error) {
+	if key == "" {
+		return nil, fmt.Errorf("dbstore: empty column-group key")
+	}
+	var cols []int
+	prev := -1
+	for _, part := range strings.Split(key, ".") {
+		lo, hi, err := parseKeyRange(part)
+		if err != nil {
+			return nil, err
+		}
+		if lo <= prev {
+			return nil, fmt.Errorf("dbstore: column-group key %q not strictly increasing", key)
+		}
+		if lo == prev+1 && prev >= 0 {
+			// "0.1" must have been written "0-1": reject non-canonical keys.
+			return nil, fmt.Errorf("dbstore: column-group key %q is not canonical", key)
+		}
+		if len(cols)+(hi-lo+1) > maxGroupCols {
+			return nil, fmt.Errorf("dbstore: column-group key %q exceeds %d columns", key, maxGroupCols)
+		}
+		for c := lo; c <= hi; c++ {
+			cols = append(cols, c)
+		}
+		prev = hi
+	}
+	return cols, nil
+}
+
+// parseKeyRange parses one "lo" or "lo-hi" key segment.
+func parseKeyRange(part string) (lo, hi int, err error) {
+	loStr, hiStr, isRange := strings.Cut(part, "-")
+	if lo, err = parseKeyOrdinal(loStr); err != nil {
+		return 0, 0, err
+	}
+	if !isRange {
+		return lo, lo, nil
+	}
+	if hi, err = parseKeyOrdinal(hiStr); err != nil {
+		return 0, 0, err
+	}
+	if hi <= lo {
+		return 0, 0, fmt.Errorf("dbstore: bad column-group range %q", part)
+	}
+	return lo, hi, nil
+}
+
+// parseKeyOrdinal parses a decimal ordinal with no sign, no leading zeros
+// (except "0" itself), and a bound that keeps allocations sane.
+func parseKeyOrdinal(s string) (int, error) {
+	if s == "" || (len(s) > 1 && s[0] == '0') {
+		return 0, fmt.Errorf("dbstore: bad column ordinal %q in group key", s)
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("dbstore: bad column ordinal %q in group key", s)
+		}
+		n = n*10 + int(c-'0')
+		if n >= maxGroupCols {
+			return 0, fmt.Errorf("dbstore: column ordinal %q exceeds limit", s)
+		}
+	}
+	return n, nil
+}
+
+// groupPageName is the blob name of a column-group page. The "g" prefix
+// keeps the new key space disjoint from legacy per-column pages ("%04d").
+func groupPageName(table string, chunkID int, cols []int) string {
+	return fmt.Sprintf("db/%s/%08d/g%s", table, chunkID, EncodeColGroupKey(cols))
+}
+
+// encodeGroupPage serializes the listed columns of bc as one page payload:
+// a column count, then per column its ordinal, encoded-vector length, and
+// the chunk package's vector encoding. The payload is sealed with the same
+// CRC wrapper as every other page.
+func encodeGroupPage(bc *chunk.BinaryChunk, cols []int) ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(len(cols)))
+	for _, c := range cols {
+		v := bc.Column(c)
+		if v == nil {
+			return nil, fmt.Errorf("dbstore: chunk %d column %d not present in binary chunk", bc.ID, c)
+		}
+		enc := chunk.EncodeVector(v)
+		buf = binary.AppendUvarint(buf, uint64(c))
+		buf = binary.AppendUvarint(buf, uint64(len(enc)))
+		buf = append(buf, enc...)
+	}
+	return buf, nil
+}
+
+// groupPageCol is one column slice of a decoded group page: the ordinal and
+// its still-encoded vector bytes, so readers decode only the columns they
+// need.
+type groupPageCol struct {
+	col int
+	enc []byte
+}
+
+// decodeGroupPage splits a group-page payload into per-column encoded
+// vectors without decoding them.
+func decodeGroupPage(payload []byte) ([]groupPageCol, error) {
+	n, off := binary.Uvarint(payload)
+	if off <= 0 || n > maxGroupCols {
+		return nil, fmt.Errorf("dbstore: bad group page column count")
+	}
+	out := make([]groupPageCol, 0, min(int(n), 64))
+	for i := uint64(0); i < n; i++ {
+		c, k := binary.Uvarint(payload[off:])
+		if k <= 0 || c > maxGroupCols {
+			return nil, fmt.Errorf("dbstore: bad group page ordinal")
+		}
+		off += k
+		l, k := binary.Uvarint(payload[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("dbstore: bad group page vector length")
+		}
+		off += k
+		if uint64(len(payload)-off) < l {
+			return nil, fmt.Errorf("dbstore: group page truncated")
+		}
+		out = append(out, groupPageCol{col: int(c), enc: payload[off : off+int(l)]})
+		off += int(l)
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("dbstore: %d trailing bytes in group page", len(payload)-off)
+	}
+	return out, nil
+}
+
+// GroupPartition splits the ordinals [0, ncols) into consecutive groups of
+// the given width. Width <= 0 (full-width) or >= ncols yields one group.
+func GroupPartition(ncols, width int) [][]int {
+	if ncols <= 0 {
+		return nil
+	}
+	if width <= 0 || width >= ncols {
+		width = ncols
+	}
+	groups := make([][]int, 0, (ncols+width-1)/width)
+	for lo := 0; lo < ncols; lo += width {
+		hi := min(lo+width, ncols)
+		g := make([]int, hi-lo)
+		for i := range g {
+			g[i] = lo + i
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// SetGroupWidth sets the store's column-group width for subsequently
+// written pages: how many consecutive schema ordinals share one page blob.
+// 1 (the default) gives one page per column; values <= 0 select full-width
+// groups (the whole chunk in a single page). Already-written pages keep
+// their recorded grouping — reads cover a request from whatever mix of
+// group pages the catalog knows about.
+func (s *Store) SetGroupWidth(w int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w < 0 {
+		w = 0
+	}
+	s.groupWidth = w
+}
+
+// GroupWidth returns the store's current column-group width (0 =
+// full-width).
+func (s *Store) GroupWidth() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.groupWidth
+}
+
+// GroupClosure rounds a sorted requested-column set up to the store's
+// group-partition boundaries: every returned partition group intersecting
+// cols is included whole. Conversion uses the closure so newly converted
+// chunks always carry complete groups and every group page is writable.
+// With the default width 1 the closure is the request itself.
+func (s *Store) GroupClosure(t *Table, cols []int) []int {
+	n := t.Schema().NumColumns()
+	w := s.GroupWidth()
+	if w == 1 || n == 0 {
+		return cols
+	}
+	if w <= 0 || w >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	inGroup := make([]bool, (n+w-1)/w)
+	for _, c := range cols {
+		if c >= 0 && c < n {
+			inGroup[c/w] = true
+		}
+	}
+	var out []int
+	for g, in := range inGroup {
+		if !in {
+			continue
+		}
+		for c := g * w; c < min((g+1)*w, n); c++ {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// writeGroups partitions a requested column set along the store's
+// group-partition boundaries and drops groups whose columns are already
+// loaded (their pages exist; rewriting them is wasted I/O — and it is what
+// makes partial-width conversion write only the missing groups).
+func (s *Store) writeGroups(t *Table, chunkID int, cols []int) [][]int {
+	meta, ok := t.Chunk(chunkID)
+	if !ok {
+		return nil
+	}
+	n := t.Schema().NumColumns()
+	w := s.GroupWidth()
+	if w <= 0 || w > n {
+		w = n
+	}
+	byGroup := make(map[int][]int)
+	var order []int
+	for _, c := range cols {
+		g := c / w
+		if _, seen := byGroup[g]; !seen {
+			order = append(order, g)
+		}
+		byGroup[g] = append(byGroup[g], c)
+	}
+	out := make([][]int, 0, len(order))
+	for _, g := range order {
+		gc := byGroup[g]
+		if meta.LoadedAll(gc) {
+			continue
+		}
+		out = append(out, gc)
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package dbstore
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scanraw/internal/chunk"
+	"scanraw/internal/store"
+)
+
+// prePR8Fixture is the checked-in on-disk state written by the store before
+// column-group pages existed: one page blob per (chunk, column) under the
+// bare-ordinal name, and a manifest whose loaded-markers are plain
+// RecLoaded records. The compat tests open this directory (via a scratch
+// copy), so the current decoder is exercised against frozen bytes — format
+// drift cannot hide behind helpers that encode and decode with the same
+// code revision.
+const prePR8Fixture = "testdata/prepr8"
+
+// writePrePR8Layout builds the legacy layout by hand: the byte formats
+// (sealed pages, manifest framing) are unchanged since then, only the
+// page naming and record types moved on. Run with REGEN_PREPR8=1 to
+// regenerate the fixture; the committed bytes are the contract.
+func writePrePR8Layout(t *testing.T, dir string) {
+	t.Helper()
+	fd, err := store.OpenFileDisk(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := store.OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer man.Close()
+	recs := []store.Record{{
+		Type: store.RecTableCreate, Table: "legacy",
+		RawFile: "raw/legacy.csv", Schema: schemaSpec(sch3), Fingerprint: testFP,
+	}}
+	for id := 0; id < 2; id++ {
+		bc := fullChunk(t, id, 8)
+		recs = append(recs, store.Record{
+			Type: store.RecChunk, Table: "legacy",
+			Chunk: id, Rows: 8, RawOff: int64(id * 100), RawLen: 100,
+		})
+		for c := 0; c < sch3.NumColumns(); c++ {
+			page := sealPage(chunk.EncodeVector(bc.Column(c)))
+			if err := fd.WriteBlob(pageName("legacy", id, c), page); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs = append(recs, store.Record{
+			Type: store.RecLoaded, Table: "legacy", Chunk: id, Cols: []int{0, 1, 2},
+		})
+	}
+	recs = append(recs,
+		store.Record{
+			Type: store.RecStats, Table: "legacy", Chunk: 0, Col: 0,
+			Stats: store.ColStatsRec{Valid: true, MinInt: 0, MaxInt: 7, Rows: 8, Distinct: 8},
+		},
+		store.Record{Type: store.RecComplete, Table: "legacy"},
+	)
+	if err := man.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegenPrePR8Fixture(t *testing.T) {
+	if os.Getenv("REGEN_PREPR8") == "" {
+		t.Skip("set REGEN_PREPR8=1 to regenerate the pre-colgroup fixture")
+	}
+	if err := os.RemoveAll(prePR8Fixture); err != nil {
+		t.Fatal(err)
+	}
+	writePrePR8Layout(t, prePR8Fixture)
+}
+
+// copyTree copies the fixture into a scratch dir: recovery rewrites the
+// manifest, and the checked-in bytes must stay pristine.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if fi.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(f, in); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmStartPrePR8Fixture opens the frozen pre-colgroup directory: the
+// per-column pages must recover as legacy groups, serve byte-identical
+// data, and coexist with chunks written in the current group layout —
+// including across a checkpoint, which must preserve the legacy marking.
+func TestWarmStartPrePR8Fixture(t *testing.T) {
+	dir := t.TempDir()
+	copyTree(t, prePR8Fixture, dir)
+
+	s, man := durableEnv(t, dir)
+	tbl, err := s.EnsureTable("legacy", sch3, "raw/legacy.csv", testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := s.RecoveryStats()
+	if rec.ChunksRecovered != 2 || rec.ChunksInvalidated != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	all := []int{0, 1, 2}
+	for id := 0; id < 2; id++ {
+		meta, ok := tbl.Chunk(id)
+		if !ok || !meta.LoadedAll(all) {
+			t.Fatalf("chunk %d not loaded from fixture: %+v", id, meta)
+		}
+		if len(meta.Groups) == 0 || !meta.Groups[0].Legacy {
+			t.Fatalf("chunk %d groups not marked legacy: %+v", id, meta.Groups)
+		}
+		bc, err := s.ReadChunk(tbl, id, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fullChunk(t, id, 8)
+		if bc.Column(0).Ints[7] != want.Column(0).Ints[7] || bc.Column(2).Strs[3] != want.Column(2).Strs[3] {
+			t.Errorf("chunk %d data differs from fixture", id)
+		}
+	}
+	if st, ok := tbl.Chunk(0); !ok || !st.Stats[0].Valid || st.Stats[0].MaxInt != 7 {
+		t.Error("fixture stats lost")
+	}
+	if !tbl.Complete() {
+		t.Error("fixture completeness lost")
+	}
+
+	// Grow the table with the current layout: width-2 group pages next to
+	// the legacy per-column ones.
+	s.SetGroupWidth(2)
+	if err := tbl.EnsureChunk(2, 8, 200, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteChunk(tbl, fullChunk(t, 2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := durableEnv(t, dir)
+	tbl2, err := s2.EnsureTable("legacy", sch3, "raw/legacy.csv", testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := s2.RecoveryStats(); rec.ChunksRecovered != 3 || rec.ChunksInvalidated != 0 {
+		t.Fatalf("mixed-layout recovery = %+v", rec)
+	}
+	for id := 0; id < 3; id++ {
+		meta, ok := tbl2.Chunk(id)
+		if !ok || !meta.LoadedAll(all) {
+			t.Fatalf("chunk %d not loaded after mixed-layout restart: %+v", id, meta)
+		}
+		wantLegacy := id < 2
+		if meta.Groups[0].Legacy != wantLegacy {
+			t.Errorf("chunk %d legacy = %v through checkpoint, want %v", id, meta.Groups[0].Legacy, wantLegacy)
+		}
+		bc, err := s2.ReadChunk(tbl2, id, all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bc.Column(0).Ints[0] != int64(id*1000) {
+			t.Errorf("chunk %d data wrong after mixed-layout restart", id)
+		}
+	}
+}
+
+// TestWarmStartPrePR8CorruptPageInvalidates damages one legacy per-column
+// page in the fixture copy: recovery must cleanly invalidate that chunk
+// (no panic, no bad bytes served) and keep the rest.
+func TestWarmStartPrePR8CorruptPageInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	copyTree(t, prePR8Fixture, dir)
+	victim := filepath.Join(dir, "blobs", "db", "legacy", "00000001", "0001")
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, _ := durableEnv(t, dir)
+	tbl, err := s.EnsureTable("legacy", sch3, "raw/legacy.csv", testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := s.RecoveryStats()
+	if rec.ChunksInvalidated != 1 {
+		t.Fatalf("ChunksInvalidated = %d, want 1", rec.ChunksInvalidated)
+	}
+	all := []int{0, 1, 2}
+	if meta, ok := tbl.Chunk(1); ok && meta.LoadedAll(all) {
+		t.Error("chunk with damaged page still reports loaded")
+	}
+	if meta, ok := tbl.Chunk(0); !ok || !meta.LoadedAll(all) {
+		t.Error("undamaged chunk lost")
+	}
+	if _, err := s.ReadChunk(tbl, 0, all); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -46,7 +46,25 @@ type ChunkMeta struct {
 	RawLen int64 // byte length of the chunk in the raw file
 
 	Stats  []ColStats // indexed by schema ordinal
-	Loaded []bool     // indexed by schema ordinal
+	Loaded []bool     // indexed by schema ordinal; union of Groups
+	Groups []GroupState
+
+	// maskKey is the table mask-index key of this chunk's current loaded
+	// set ("" while nothing is loaded); maintained by setLoadedLocked.
+	maskKey string
+}
+
+// GroupState describes one durable column-group page of a chunk: the
+// ordinals it holds, and whether it predates column-group pages. Loaded is
+// always the union of the group column sets — readers that only care
+// whether a column is available keep using it; the group list is what maps
+// columns back to page blobs.
+type GroupState struct {
+	Cols []int
+	// Legacy marks groups recovered from pre-colgroup manifests (RecLoaded
+	// records), whose data lives in one page blob per column under the bare
+	// ordinal name instead of a group-keyed page.
+	Legacy bool
 }
 
 // clone returns a deep copy so callers can inspect metadata without racing
@@ -55,6 +73,10 @@ func (m *ChunkMeta) clone() *ChunkMeta {
 	c := *m
 	c.Stats = append([]ColStats(nil), m.Stats...)
 	c.Loaded = append([]bool(nil), m.Loaded...)
+	c.Groups = make([]GroupState, len(m.Groups))
+	for i, g := range m.Groups {
+		c.Groups[i] = GroupState{Cols: append([]int(nil), g.Cols...), Legacy: g.Legacy}
+	}
 	return &c
 }
 
@@ -90,6 +112,12 @@ type Table struct {
 	chunks   []*ChunkMeta
 	complete bool // true once the raw file has been fully scanned once
 
+	// masks indexes chunks by their loaded-column set, so CountLoaded — the
+	// cached-path probe every query makes — is O(distinct masks) instead of
+	// a walk over every chunk under the table lock. Chunks with no loaded
+	// column are not tracked. Guarded by mu.
+	masks map[string]*maskCount
+
 	// journal, when non-nil, receives a record for each mutation. Appends
 	// happen after t.mu is released: the manifest serializes its own writes,
 	// and records are idempotent upserts, so replay order differing from
@@ -101,6 +129,47 @@ type Table struct {
 	// land in the log after the snapshot but before the truncate — the one
 	// interleaving that would lose a record.
 	ckpt *sync.RWMutex
+}
+
+// maskCount is one loaded-column-set equivalence class: the set itself and
+// how many chunks currently have exactly that set loaded.
+type maskCount struct {
+	loaded []bool
+	n      int
+}
+
+// remaskLocked moves a chunk between mask-index buckets after its loaded
+// set changed. Caller holds t.mu.
+func (t *Table) remaskLocked(m *ChunkMeta) {
+	if old := m.maskKey; old != "" {
+		if mc := t.masks[old]; mc != nil {
+			mc.n--
+			if mc.n == 0 {
+				delete(t.masks, old)
+			}
+		}
+	}
+	var cols []int
+	for c, l := range m.Loaded {
+		if l {
+			cols = append(cols, c)
+		}
+	}
+	if len(cols) == 0 {
+		m.maskKey = ""
+		return
+	}
+	key := EncodeColGroupKey(cols)
+	m.maskKey = key
+	if t.masks == nil {
+		t.masks = make(map[string]*maskCount)
+	}
+	mc := t.masks[key]
+	if mc == nil {
+		mc = &maskCount{loaded: append([]bool(nil), m.Loaded...)}
+		t.masks[key] = mc
+	}
+	mc.n++
 }
 
 // journalLock enters a mutate+append critical section against checkpoints.
@@ -230,28 +299,69 @@ func (t *Table) SetStats(id, col int, s ColStats) error {
 	})
 }
 
-// markLoaded flags columns of a chunk as stored in the database. The journal
-// record is appended only after this point, i.e. after the page blobs are
-// already durable — the data-before-metadata ordering recovery relies on.
-func (t *Table) markLoaded(id int, cols []int) error {
+// markLoadedGroups records that the listed column groups of a chunk were
+// stored as page blobs, one group per page. The journal records are
+// appended only after this point, i.e. after the page blobs are already
+// durable — the data-before-metadata ordering recovery relies on. Legacy
+// marks pre-colgroup per-column pages: each column becomes its own
+// singleton group read under the bare-ordinal page name, and the journal
+// record keeps the RecLoaded type so a checkpointed manifest stays
+// readable by the layout that wrote the pages.
+func (t *Table) markLoadedGroups(id int, groups [][]int, legacy bool) error {
 	defer t.journalLock()()
 	t.mu.Lock()
 	if id < 0 || id >= len(t.chunks) || t.chunks[id] == nil {
 		t.mu.Unlock()
 		return fmt.Errorf("dbstore: markLoaded on unknown chunk %d", id)
 	}
-	for _, c := range cols {
-		if c < 0 || c >= len(t.chunks[id].Loaded) {
-			t.mu.Unlock()
-			return fmt.Errorf("dbstore: markLoaded column %d out of range", c)
+	m := t.chunks[id]
+	var recs []store.Record
+	for _, cols := range groups {
+		for _, c := range cols {
+			if c < 0 || c >= len(m.Loaded) {
+				t.mu.Unlock()
+				return fmt.Errorf("dbstore: markLoaded column %d out of range", c)
+			}
 		}
-		t.chunks[id].Loaded[c] = true
+		if legacy {
+			for _, c := range cols {
+				t.addGroupLocked(m, []int{c}, true)
+			}
+			recs = append(recs, store.Record{
+				Type: store.RecLoaded, Table: t.name,
+				Chunk: id, Cols: append([]int(nil), cols...),
+			})
+			continue
+		}
+		if t.addGroupLocked(m, cols, false) {
+			recs = append(recs, store.Record{
+				Type: store.RecLoadedGroup, Table: t.name,
+				Chunk: id, Cols: append([]int(nil), cols...),
+			})
+		}
 	}
+	t.remaskLocked(m)
 	t.mu.Unlock()
-	return t.journalAppend(store.Record{
-		Type: store.RecLoaded, Table: t.name,
-		Chunk: id, Cols: append([]int(nil), cols...),
-	})
+	if len(recs) == 0 {
+		return nil
+	}
+	return t.journalAppend(recs...)
+}
+
+// addGroupLocked registers one group on a chunk, deduplicating by column
+// set, and flips the loaded bits. Caller holds t.mu and re-masks after.
+func (t *Table) addGroupLocked(m *ChunkMeta, cols []int, legacy bool) (added bool) {
+	key := EncodeColGroupKey(cols)
+	for _, g := range m.Groups {
+		if EncodeColGroupKey(g.Cols) == key {
+			return false
+		}
+	}
+	m.Groups = append(m.Groups, GroupState{Cols: append([]int(nil), cols...), Legacy: legacy})
+	for _, c := range cols {
+		m.Loaded[c] = true
+	}
+	return true
 }
 
 // EstimateRangeRows estimates how many tuples have column col in [lo, hi],
@@ -325,8 +435,27 @@ func (t *Table) LoadedChunks(cols []int) []int {
 	return out
 }
 
-// CountLoaded returns how many chunks have all listed columns loaded.
-func (t *Table) CountLoaded(cols []int) int { return len(t.LoadedChunks(cols)) }
+// CountLoaded returns how many chunks have all listed columns loaded. It
+// answers from the mask index — O(distinct loaded-column sets), not
+// O(chunks) — because it is the cached-path probe on every query.
+func (t *Table) CountLoaded(cols []int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, mc := range t.masks {
+		covered := true
+		for _, c := range cols {
+			if c < 0 || c >= len(mc.loaded) || !mc.loaded[c] {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			n += mc.n
+		}
+	}
+	return n
+}
 
 // FullyLoaded reports whether the discovery is complete and every chunk has
 // every column loaded — the condition under which a SCANRAW instance is
@@ -360,6 +489,14 @@ type Store struct {
 	journal Journal
 	rec     RecoveryReport
 
+	// groupWidth is the column-group width for new pages (1 = one page per
+	// column, 0 = full-width). Guarded by mu.
+	groupWidth int
+
+	// workloads holds per-table decayed column-access weights (the workload
+	// tracker's persisted state), keyed by table name. Guarded by mu.
+	workloads map[string][]float64
+
 	// ckptMu orders catalog mutations against checkpoint compaction; see
 	// Table.ckpt.
 	ckptMu sync.RWMutex
@@ -367,7 +504,7 @@ type Store struct {
 
 // NewStore creates an empty store on the given disk.
 func NewStore(d store.Disk) *Store {
-	return &Store{disk: d, tables: make(map[string]*Table)}
+	return &Store{disk: d, tables: make(map[string]*Table), groupWidth: 1, workloads: make(map[string][]float64)}
 }
 
 // Disk returns the underlying disk.
@@ -429,6 +566,7 @@ func (s *Store) DropTable(name string) {
 	s.mu.Lock()
 	t := s.tables[name]
 	delete(s.tables, name)
+	delete(s.workloads, name)
 	s.mu.Unlock()
 	if t == nil {
 		return
@@ -471,26 +609,30 @@ func openPage(p []byte) ([]byte, error) {
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// WriteChunkColumns stores the listed columns of binary chunk bc as pages
-// and marks them loaded in the catalog. The chunk must already be
-// registered via EnsureChunk. This is the WRITE stage's storage operation;
-// the disk's write throttle models its I/O cost.
+// WriteChunkColumns stores the listed columns of binary chunk bc as
+// column-group pages and marks them loaded in the catalog. The chunk must
+// already be registered via EnsureChunk. The columns are partitioned along
+// the store's group-width boundaries; groups whose columns are all already
+// loaded are skipped — a partially-loaded chunk writes only its missing
+// groups. This is the WRITE stage's storage operation; the disk's write
+// throttle models its I/O cost.
 func (s *Store) WriteChunkColumns(t *Table, bc *chunk.BinaryChunk, cols []int) error {
 	if meta, ok := t.Chunk(bc.ID); !ok {
 		return fmt.Errorf("dbstore: chunk %d not registered in table %q", bc.ID, t.Name())
 	} else if meta.Rows != bc.Rows {
 		return fmt.Errorf("dbstore: chunk %d has %d rows, catalog says %d", bc.ID, bc.Rows, meta.Rows)
 	}
-	for _, c := range cols {
-		v := bc.Column(c)
-		if v == nil {
-			return fmt.Errorf("dbstore: chunk %d column %d not present in binary chunk", bc.ID, c)
+	groups := s.writeGroups(t, bc.ID, cols)
+	for _, g := range groups {
+		payload, err := encodeGroupPage(bc, g)
+		if err != nil {
+			return err
 		}
-		if err := s.disk.WriteBlob(pageName(t.Name(), bc.ID, c), sealPage(chunk.EncodeVector(v))); err != nil {
-			return fmt.Errorf("dbstore: writing chunk %d column %d: %w", bc.ID, c, err)
+		if err := s.disk.WriteBlob(groupPageName(t.Name(), bc.ID, g), sealPage(payload)); err != nil {
+			return fmt.Errorf("dbstore: writing chunk %d group %s: %w", bc.ID, EncodeColGroupKey(g), err)
 		}
 	}
-	if err := t.markLoaded(bc.ID, cols); err != nil {
+	if err := t.markLoadedGroups(bc.ID, groups, false); err != nil {
 		return err
 	}
 	return s.MaybeCheckpoint()
@@ -502,7 +644,10 @@ func (s *Store) WriteChunk(t *Table, bc *chunk.BinaryChunk) error {
 }
 
 // ReadChunk reads the listed columns of chunk id from the database into a
-// binary chunk. Every requested column must be loaded.
+// binary chunk. Every requested column must be loaded; the read is served
+// from a greedy cover of the chunk's recorded column groups, so any mix of
+// widths — legacy per-column pages, narrow groups, a full-width page — can
+// satisfy it, and only covering pages are transferred.
 func (s *Store) ReadChunk(t *Table, id int, cols []int) (*chunk.BinaryChunk, error) {
 	meta, ok := t.Chunk(id)
 	if !ok {
@@ -511,25 +656,93 @@ func (s *Store) ReadChunk(t *Table, id int, cols []int) (*chunk.BinaryChunk, err
 	if !meta.LoadedAll(cols) {
 		return nil, fmt.Errorf("dbstore: chunk %d does not have all of columns %v loaded", id, cols)
 	}
-	bc := chunk.NewBinary(t.Schema(), id, meta.Rows)
+	need := make(map[int]bool, len(cols))
 	for _, c := range cols {
-		p, err := s.disk.ReadBlob(pageName(t.Name(), id, c))
-		if err != nil {
-			return nil, fmt.Errorf("dbstore: reading chunk %d column %d: %w", id, c, err)
+		need[c] = true
+	}
+	bc := chunk.NewBinary(t.Schema(), id, meta.Rows)
+	// Greedy cover: repeatedly read the group contributing the most still-
+	// needed columns. LoadedAll guarantees the union of groups covers the
+	// request, so every iteration makes progress.
+	for len(need) > 0 {
+		var best GroupState
+		bestGain := 0
+		for _, g := range meta.Groups {
+			gain := 0
+			for _, c := range g.Cols {
+				if need[c] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = g, gain
+			}
 		}
-		payload, err := openPage(p)
-		if err != nil {
-			return nil, fmt.Errorf("dbstore: chunk %d column %d: %w", id, c, err)
+		if bestGain == 0 {
+			return nil, fmt.Errorf("dbstore: chunk %d groups do not cover columns %v", id, cols)
 		}
-		v, err := chunk.DecodeVector(payload)
-		if err != nil {
-			return nil, fmt.Errorf("dbstore: decoding chunk %d column %d: %w", id, c, err)
-		}
-		if err := bc.SetColumn(c, v); err != nil {
+		if err := s.readGroup(t, id, best, need, bc); err != nil {
 			return nil, err
+		}
+		for _, c := range best.Cols {
+			delete(need, c)
 		}
 	}
 	return bc, nil
+}
+
+// readGroup reads one recorded group's page blob(s) and installs the
+// still-needed columns into bc.
+func (s *Store) readGroup(t *Table, id int, g GroupState, need map[int]bool, bc *chunk.BinaryChunk) error {
+	if g.Legacy {
+		for _, c := range g.Cols {
+			if !need[c] {
+				continue
+			}
+			p, err := s.disk.ReadBlob(pageName(t.Name(), id, c))
+			if err != nil {
+				return fmt.Errorf("dbstore: reading chunk %d column %d: %w", id, c, err)
+			}
+			payload, err := openPage(p)
+			if err != nil {
+				return fmt.Errorf("dbstore: chunk %d column %d: %w", id, c, err)
+			}
+			v, err := chunk.DecodeVector(payload)
+			if err != nil {
+				return fmt.Errorf("dbstore: decoding chunk %d column %d: %w", id, c, err)
+			}
+			if err := bc.SetColumn(c, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	key := EncodeColGroupKey(g.Cols)
+	p, err := s.disk.ReadBlob(groupPageName(t.Name(), id, g.Cols))
+	if err != nil {
+		return fmt.Errorf("dbstore: reading chunk %d group %s: %w", id, key, err)
+	}
+	payload, err := openPage(p)
+	if err != nil {
+		return fmt.Errorf("dbstore: chunk %d group %s: %w", id, key, err)
+	}
+	pcols, err := decodeGroupPage(payload)
+	if err != nil {
+		return fmt.Errorf("dbstore: chunk %d group %s: %w", id, key, err)
+	}
+	for _, pc := range pcols {
+		if !need[pc.col] {
+			continue
+		}
+		v, err := chunk.DecodeVector(pc.enc)
+		if err != nil {
+			return fmt.Errorf("dbstore: decoding chunk %d group %s column %d: %w", id, key, pc.col, err)
+		}
+		if err := bc.SetColumn(pc.col, v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Scan is the heap-scan operator: it iterates the loaded chunks of a table
@@ -546,6 +759,37 @@ func (s *Store) Scan(t *Table, cols []int, fn func(*chunk.BinaryChunk) error) er
 		}
 	}
 	return nil
+}
+
+// SetWorkload durably records a table's per-column access weights (the
+// workload tracker's decayed counters). The latest record wins on replay;
+// the serving layer persists periodically, so a crash loses at most the
+// accesses since the last snapshot — an acceptable loss for a statistic
+// that only ranks speculation.
+func (s *Store) SetWorkload(table string, weights []float64) error {
+	s.mu.RLock()
+	j := s.journal
+	s.mu.RUnlock()
+	if j != nil {
+		s.ckptMu.RLock()
+		defer s.ckptMu.RUnlock()
+	}
+	w := append([]float64(nil), weights...)
+	s.mu.Lock()
+	s.workloads[table] = w
+	s.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Append(store.Record{Type: store.RecWorkload, Table: table, Weights: w})
+}
+
+// Workload returns the recorded per-column access weights for a table, or
+// nil when none were ever persisted.
+func (s *Store) Workload(table string) []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]float64(nil), s.workloads[table]...)
 }
 
 // Fleet configuration persistence. A coordinator records its fleet

@@ -279,7 +279,7 @@ func TestPageChecksumDetectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Flip one byte of the stored page.
-	name := pageName("t", 0, 0)
+	name := groupPageName("t", 0, []int{0})
 	p, err := s.Disk().ReadBlob(name)
 	if err != nil {
 		t.Fatal(err)

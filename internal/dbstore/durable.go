@@ -2,6 +2,7 @@ package dbstore
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -101,9 +102,11 @@ func (s *Store) applyRecord(r store.Record, rep *RecoveryReport) {
 				return // idempotent replay
 			}
 			// The raw file changed between the old incarnation and this
-			// record: everything persisted for the old one is stale.
+			// record: everything persisted for the old one is stale,
+			// including the workload weights (the schema may differ).
 			rep.ChunksInvalidated += countLoadedChunks(t)
 			delete(s.tables, r.Table)
+			delete(s.workloads, r.Table)
 		}
 		t := &Table{name: r.Table, schema: sch, rawFile: r.RawFile, fp: r.Fingerprint, ckpt: &s.ckptMu}
 		s.tables[r.Table] = t
@@ -121,15 +124,24 @@ func (s *Store) applyRecord(r store.Record, rep *RecoveryReport) {
 	case store.RecStats:
 		_ = t.SetStats(r.Chunk, r.Col, statsFromRec(r.Stats))
 	case store.RecLoaded:
-		_ = t.markLoaded(r.Chunk, r.Cols)
+		// Pre-colgroup manifests: one page blob per column, named by the
+		// bare ordinal. Replays as legacy singleton groups.
+		_ = t.markLoadedGroups(r.Chunk, [][]int{r.Cols}, true)
+	case store.RecLoadedGroup:
+		_ = t.markLoadedGroups(r.Chunk, [][]int{r.Cols}, false)
+	case store.RecWorkload:
+		if len(r.Weights) == t.schema.NumColumns() {
+			s.workloads[r.Table] = append([]float64(nil), r.Weights...)
+		}
 	case store.RecComplete:
 		_ = t.SetComplete()
 	}
 }
 
-// verifyPages checks every loaded column's page blob and clears the loaded
-// bit for pages that are missing or fail their checksum — those columns
-// silently fall back to conversion from raw.
+// verifyPages checks every recorded group's page blob(s) and drops groups
+// whose pages are missing or fail their checksum — their columns silently
+// fall back to conversion from raw. Runs single-threaded before the store
+// is handed to the serving layer.
 func (s *Store) verifyPages(rep *RecoveryReport) {
 	for _, t := range s.tables {
 		for _, m := range t.chunks {
@@ -137,24 +149,54 @@ func (s *Store) verifyPages(rep *RecoveryReport) {
 				continue
 			}
 			damaged := false
-			for c, loaded := range m.Loaded {
-				if !loaded {
-					continue
-				}
-				if !s.pageOK(t.name, m.ID, c) {
-					m.Loaded[c] = false
+			kept := m.Groups[:0]
+			for _, g := range m.Groups {
+				if s.groupOK(t.name, m.ID, g) {
+					kept = append(kept, g)
+				} else {
 					damaged = true
 				}
 			}
-			if damaged {
-				rep.ChunksInvalidated++
+			if !damaged {
+				continue
 			}
+			m.Groups = kept
+			for c := range m.Loaded {
+				m.Loaded[c] = false
+			}
+			for _, g := range m.Groups {
+				for _, c := range g.Cols {
+					m.Loaded[c] = true
+				}
+			}
+			t.remaskLocked(m)
+			rep.ChunksInvalidated++
 		}
 	}
 }
 
-// pageOK reports whether the page blob for (table, chunk, col) exists and
-// passes its CRC.
+// groupOK reports whether a group's page blob(s) exist and pass their CRC:
+// the single group-keyed page, or — for legacy groups — one bare-ordinal
+// page per column.
+func (s *Store) groupOK(table string, chunkID int, g GroupState) bool {
+	if g.Legacy {
+		for _, c := range g.Cols {
+			if !s.pageOK(table, chunkID, c) {
+				return false
+			}
+		}
+		return true
+	}
+	p, err := s.disk.ReadBlob(groupPageName(table, chunkID, g.Cols))
+	if err != nil {
+		return false
+	}
+	_, err = openPage(p)
+	return err == nil
+}
+
+// pageOK reports whether the legacy page blob for (table, chunk, col)
+// exists and passes its CRC.
 func (s *Store) pageOK(table string, chunkID, col int) bool {
 	p, err := s.disk.ReadBlob(pageName(table, chunkID, col))
 	if err != nil {
@@ -250,16 +292,25 @@ func (s *Store) snapshotRecords() []store.Record {
 					})
 				}
 			}
-			var loaded []int
-			for c, l := range m.Loaded {
-				if l {
-					loaded = append(loaded, c)
+			// Legacy groups re-snapshot as one RecLoaded so replay keeps
+			// resolving them to bare-ordinal page names; each group page
+			// keeps its own RecLoadedGroup.
+			var legacy []int
+			for _, g := range m.Groups {
+				if g.Legacy {
+					legacy = append(legacy, g.Cols...)
+					continue
 				}
+				recs = append(recs, store.Record{
+					Type: store.RecLoadedGroup, Table: t.name,
+					Chunk: m.ID, Cols: append([]int(nil), g.Cols...),
+				})
 			}
-			if len(loaded) > 0 {
+			if len(legacy) > 0 {
+				sort.Ints(legacy)
 				recs = append(recs, store.Record{
 					Type: store.RecLoaded, Table: t.name,
-					Chunk: m.ID, Cols: loaded,
+					Chunk: m.ID, Cols: legacy,
 				})
 			}
 		}
@@ -267,6 +318,14 @@ func (s *Store) snapshotRecords() []store.Record {
 			recs = append(recs, store.Record{Type: store.RecComplete, Table: t.name})
 		}
 		t.mu.RUnlock()
+		s.mu.RLock()
+		if w, ok := s.workloads[t.name]; ok {
+			recs = append(recs, store.Record{
+				Type: store.RecWorkload, Table: t.name,
+				Weights: append([]float64(nil), w...),
+			})
+		}
+		s.mu.RUnlock()
 	}
 	return recs
 }

@@ -189,7 +189,7 @@ func TestDurablePageBitFlipInvalidatesChunk(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt chunk 1, column 0's page on the real filesystem.
-	page := filepath.Join(dir, "blobs", "db", "t", "00000001", "0000")
+	page := filepath.Join(dir, "blobs", "db", "t", "00000001", "g0")
 	raw, err := os.ReadFile(page)
 	if err != nil {
 		t.Fatal(err)
@@ -236,7 +236,7 @@ func TestDurableMissingPageInvalidates(t *testing.T) {
 	if err := man.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir, "blobs", "db", "t", "00000000", "0002")); err != nil {
+	if err := os.Remove(filepath.Join(dir, "blobs", "db", "t", "00000000", "g2")); err != nil {
 		t.Fatal(err)
 	}
 	s2, _ := durableEnv(t, dir)
@@ -330,5 +330,77 @@ func TestDurableSchemaSpecRoundTrip(t *testing.T) {
 	}
 	if _, err := parseSchemaSpec("a"); err == nil {
 		t.Error("missing type should fail")
+	}
+}
+
+// TestDurableTornColGroupRecord injects the crash window the
+// data-before-metadata ordering leaves open: a column-group page reaches
+// the disk but the process dies before its RecLoadedGroup record is
+// appended. On restart the orphaned page must simply not exist as far as
+// the catalog is concerned — the chunk's group is unloaded, reads refuse
+// it, and rewriting the group lands cleanly over the orphan.
+func TestDurableTornColGroupRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, man := durableEnv(t, dir)
+	tbl, err := s.EnsureTable("t", sch3, "raw/t.csv", testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.EnsureChunk(0, 8, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	bc := fullChunk(t, 0, 8)
+	if err := s.WriteChunkColumns(tbl, bc, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "manifest.log")
+	fi, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second write makes its page blobs durable first, then appends the
+	// RecLoadedGroup record; truncating back to the pre-write size is the
+	// crash between those two steps.
+	if err := s.WriteChunkColumns(tbl, bc, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(logPath, fi.Size()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := durableEnv(t, dir)
+	tbl2, err := s2.EnsureTable("t", sch3, "raw/t.csv", testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := s2.RecoveryStats(); rec.ChunksInvalidated != 0 {
+		t.Errorf("orphaned page caused %d invalidations; it should be invisible", rec.ChunksInvalidated)
+	}
+	meta, ok := tbl2.Chunk(0)
+	if !ok {
+		t.Fatal("chunk lost")
+	}
+	if !meta.LoadedAll([]int{0, 1}) {
+		t.Error("journaled group lost")
+	}
+	if meta.LoadedAll([]int{2}) {
+		t.Fatal("unjournaled group reported loaded — metadata preceded data?")
+	}
+	if _, err := s2.ReadChunk(tbl2, 0, []int{0, 1, 2}); err == nil {
+		t.Error("read of the unjournaled column should fail, not serve the orphan page")
+	}
+	// The rewrite path must tolerate the orphan blob already existing.
+	if err := s2.WriteChunkColumns(tbl2, fullChunk(t, 0, 8), []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.ReadChunk(tbl2, 0, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Column(2).Strs[4] != fullChunk(t, 0, 8).Column(2).Strs[4] {
+		t.Error("rewritten group serves wrong data")
 	}
 }

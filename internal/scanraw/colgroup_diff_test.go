@@ -1,0 +1,169 @@
+package scanraw
+
+import (
+	"fmt"
+	"testing"
+
+	"scanraw/internal/engine"
+	"scanraw/internal/gen"
+)
+
+// sumCols runs SELECT SUM over the listed columns and checks the result
+// against the generator's ground truth.
+func sumCols(t *testing.T, op *Operator, env *testEnv, cols []int) RunStats {
+	t.Helper()
+	q, err := engine.SumAllColumns(env.table.Schema(), "data", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := ExecuteQuery(op, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Rows[0][0].Int
+	if want := gen.SumRange(env.spec, cols, 0, env.spec.Rows); got != want {
+		t.Fatalf("sum over %v = %d, want %d", cols, got, want)
+	}
+	return st
+}
+
+// TestColGroupDifferential sweeps the storage-layout and speculation-policy
+// matrix through the same query sequence — a narrow warm-up, a wider query
+// that can only be served by partial-width hits, a repeat of it, and a
+// full-width query — asserting every cell returns the generator's exact
+// sums. Workers 0 exercises the sequential path, workers 4 the pipeline;
+// results must not depend on the page width or on which chunks speculation
+// chose to load.
+func TestColGroupDifferential(t *testing.T) {
+	weights := []float64{0, 3, 1, 0, 0}
+	for _, width := range []int{1, 2, 0} {
+		for _, pol := range []SpecPolicy{SpecScan, SpecPayoff} {
+			for _, workers := range []int{0, 4} {
+				name := fmt.Sprintf("width=%d/spec=%s/workers=%d", width, pol, workers)
+				t.Run(name, func(t *testing.T) {
+					env := newEnv(t, 512, 5, nil)
+					env.store.SetGroupWidth(width)
+					op := New(env.store, env.table, Config{
+						Workers: workers, ChunkLines: 64, Policy: Speculative,
+						Safeguard: true, CacheChunks: 4, CollectStats: true,
+						Speculation:   pol,
+						ColumnWeights: func() []float64 { return weights },
+					})
+					phases := [][]int{{1}, {0, 1, 2}, {0, 1, 2}, {0, 1, 2, 3, 4}}
+					for i, cols := range phases {
+						st := sumCols(t, op, env, cols)
+						// After the narrow warm-up every chunk has column 1 on
+						// pages; with per-column pages the wider query must be
+						// served without a single full-width conversion.
+						if width == 1 && i == 1 && st.DeliveredRaw > 0 {
+							t.Errorf("phase %d: %d full conversions despite loaded column pages (stats %+v)", i, st.DeliveredRaw, st)
+						}
+						// Safeguard flush between phases, so phase i+1 sees
+						// everything phase i converted.
+						op.WaitIdle()
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestColGroupSharedDifferential runs the shared-scan path over the same
+// matrix: two coalesced queries with different column sets over a
+// partially-loaded table must both get exact results whatever the page
+// width and speculation order.
+func TestColGroupSharedDifferential(t *testing.T) {
+	for _, width := range []int{1, 2, 0} {
+		t.Run(fmt.Sprintf("width=%d", width), func(t *testing.T) {
+			env := newEnv(t, 512, 5, nil)
+			env.store.SetGroupWidth(width)
+			weights := []float64{1, 0, 2, 0, 1}
+			op := New(env.store, env.table, Config{
+				Workers: 2, ChunkLines: 64, Policy: Speculative,
+				Safeguard: true, CacheChunks: 4, CollectStats: true,
+				Speculation:   SpecPayoff,
+				ColumnWeights: func() []float64 { return weights },
+			})
+			sumCols(t, op, env, []int{2}) // warm: loads closure({2}) everywhere
+			op.WaitIdle()
+
+			var sumA, sumB int64
+			reqs := []Request{
+				{
+					Columns: []int{0, 2},
+					Deliver: func(bc *BinaryChunk) error {
+						for r := 0; r < bc.Rows; r++ {
+							sumA += bc.Column(0).Ints[r] + bc.Column(2).Ints[r]
+						}
+						return nil
+					},
+				},
+				{
+					Columns: []int{1, 3},
+					Deliver: func(bc *BinaryChunk) error {
+						for r := 0; r < bc.Rows; r++ {
+							sumB += bc.Column(1).Ints[r] + bc.Column(3).Ints[r]
+						}
+						return nil
+					},
+				},
+			}
+			if _, _, err := op.RunShared(reqs); err != nil {
+				t.Fatal(err)
+			}
+			if want := gen.SumRange(env.spec, []int{0, 2}, 0, 512); sumA != want {
+				t.Errorf("shared query A sum = %d, want %d", sumA, want)
+			}
+			if want := gen.SumRange(env.spec, []int{1, 3}, 0, 512); sumB != want {
+				t.Errorf("shared query B sum = %d, want %d", sumB, want)
+			}
+		})
+	}
+}
+
+// TestPayoffSpecPrefersHotColumns pins the policy itself: with a cold
+// cache-resident table and a heavily skewed workload, the payoff ranker
+// must write the hot column's groups before scan order would reach them.
+func TestPayoffSpecPrefersHotColumns(t *testing.T) {
+	env := newEnv(t, 512, 4, nil)
+	// CPUSlowdown makes conversion dominate, so READ blocks on the full
+	// text buffer and the scheduler gets disk-idle quanta to spend.
+	op := New(env.store, env.table, Config{
+		Workers: 2, ChunkLines: 64, Policy: Speculative,
+		Safeguard: false, CacheChunks: 16, CollectStats: true,
+		CPUSlowdown:   16,
+		Speculation:   SpecPayoff,
+		ColumnWeights: func() []float64 { return []float64{0, 0, 0, 5} },
+	})
+	// How MUCH gets written per scan is timing-dependent by design — with
+	// the safeguard off, quanta exist only while READ is blocked mid-run —
+	// so rescan (cache cleared, so raw reads recur) until at least one
+	// quantum landed. WHAT got written is the deterministic part under
+	// test: payoff must spend every quantum on the hot column while any of
+	// its groups is still unloaded.
+	countLoaded := func(col int) int {
+		n := 0
+		for id := 0; id < env.table.NumChunks(); id++ {
+			if meta, ok := env.table.Chunk(id); ok && meta.LoadedAll([]int{col}) {
+				n++
+			}
+		}
+		return n
+	}
+	var loadedHot, loadedCold int
+	for attempt := 0; attempt < 100; attempt++ {
+		sumCols(t, op, env, []int{0, 1, 2, 3})
+		op.WaitIdle()
+		loadedHot, loadedCold = countLoaded(3), countLoaded(0)
+		if loadedHot > 0 {
+			break
+		}
+		op.Cache().Clear()
+	}
+	if loadedHot == 0 {
+		t.Fatal("payoff speculation wrote nothing for the hot column in 100 scans")
+	}
+	if loadedCold > loadedHot {
+		t.Errorf("cold column loaded on %d chunks vs hot %d: payoff ranking not applied", loadedCold, loadedHot)
+	}
+}

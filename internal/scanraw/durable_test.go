@@ -156,7 +156,7 @@ func TestDurableCorruptPageReconverts(t *testing.T) {
 	if warmSum != coldSum {
 		t.Errorf("sum after re-conversion = %d, want %d", warmSum, coldSum)
 	}
-	if warmStats.DeliveredRaw == 0 {
+	if warmStats.DeliveredRaw+warmStats.DeliveredPartial == 0 {
 		t.Error("damaged chunk should have been re-converted from raw")
 	}
 	if warmStats.DeliveredDB == 0 {

@@ -31,13 +31,26 @@ type run struct {
 	req Request
 	del *deliverer // CONSUME stage: serial pass-through or fan-out
 
-	upTo int // attributes to tokenize: max required ordinal + 1
+	upTo int // attributes to tokenize: max converted ordinal + 1
+
+	// convCols is the full-conversion column set: the requested columns
+	// rounded up to the store's group-partition boundaries, so every
+	// converted chunk carries complete groups and every group page is
+	// writable. With the default group width 1 it is the request itself.
+	convCols []int
 
 	// kern, when non-nil, is the fused conversion kernel for this run's
 	// column set: text chunks skip TOKENIZE (they flow through the position
 	// buffer with a nil map) and the parse task converts in one pass. The
 	// fused time is accounted to the Parse stage; Tokenize stays zero.
 	kern *kernel.Kernel
+
+	// plans maps chunk IDs to partial-width plans (READ registers, PARSE
+	// consumes); kerns caches per-plan fused kernels by column-set key.
+	plansMu sync.Mutex
+	plans   map[int]partialPlan
+	kernsMu sync.Mutex
+	kerns   map[string]*kernel.Kernel
 
 	done    chan struct{} // closed on first error
 	errOnce sync.Once
@@ -90,10 +103,12 @@ type run struct {
 
 	invisibleLeft atomic.Int64
 
-	written      atomic.Int64 // chunks this run loaded into the database
-	deliveredDB  atomic.Int64
-	deliveredRaw atomic.Int64
-	skipped      atomic.Int64
+	written          atomic.Int64 // chunks this run loaded into the database
+	groupWrites      atomic.Int64 // single-group payoff writes
+	deliveredDB      atomic.Int64
+	deliveredRaw     atomic.Int64
+	deliveredPartial atomic.Int64
+	skipped          atomic.Int64
 
 	// Consume-queue depth sampling (delivery loop): the resizer's signal
 	// that chunks pile up in front of the consume stage.
@@ -336,8 +351,10 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 	if r != nil {
 		st.DeliveredDB = int(r.deliveredDB.Load())
 		st.DeliveredRaw = int(r.deliveredRaw.Load())
+		st.DeliveredPartial = int(r.deliveredPartial.Load())
 		st.SkippedChunks += int(r.skipped.Load())
 		st.WrittenDuringRun = int(r.written.Load())
+		st.GroupWritesDuringRun = int(r.groupWrites.Load())
 		st.WorkersUsed = workers
 		st.ReadBlocked = r.blocked.total()
 	}
@@ -447,12 +464,14 @@ func (o *Operator) takeFlushErr() error {
 // runParallel executes the super-scalar pipeline with the given worker
 // pool size.
 func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer, delivered map[int]bool, workers int, gate *cacheGate) (*run, error) {
+	convCols := o.store.GroupClosure(o.table, req.Columns)
 	r := &run{
 		op:           o,
 		req:          req,
 		del:          del,
-		upTo:         req.Columns[len(req.Columns)-1] + 1,
-		kern:         o.fusedKernel(req.Columns),
+		convCols:     convCols,
+		upTo:         convCols[len(convCols)-1] + 1,
+		kern:         o.fusedKernel(convCols),
 		done:         make(chan struct{}),
 		freeText:     make(chan struct{}, o.cfg.TextBufferChunks),
 		textBuf:      make(chan *chunk.TextChunk, o.cfg.TextBufferChunks),
@@ -639,6 +658,12 @@ func (r *run) readLoop(delivered map[int]bool) error {
 					return nil
 				}
 			default:
+				// A chunk with some (but not all) requested columns loaded is
+				// a partial-width hit: register a plan so PARSE converts only
+				// the missing groups and merges the rest from the database.
+				if plan := r.planFor(meta); len(plan.fromDB) > 0 {
+					r.setPlan(id, plan)
+				}
 				data, err := sc.readExtent(off, meta.RawLen)
 				if err != nil {
 					return err
@@ -870,13 +895,22 @@ func (r *run) parseTask(item posItem, slot *workerSlot, ramped bool) {
 		defer func() { r.rampSlots <- struct{}{} }()
 	}
 	o := r.op
+	cols := r.convCols
+	kern := r.kern
+	plan, partial := r.plan(item.tc.ID)
+	if partial {
+		cols = plan.convert
+		if kern != nil {
+			kern = r.kernFor(cols)
+		}
+	}
 	var bc *BinaryChunk
 	var err error
 	d := o.cpuWork(slot, func() {
-		if r.kern != nil {
-			bc, err = r.kern.Convert(item.tc)
+		if kern != nil {
+			bc, err = kern.Convert(item.tc)
 		} else {
-			bc, err = o.parser.Parse(item.tc, item.pm, r.req.Columns)
+			bc, err = o.parser.Parse(item.tc, item.pm, cols)
 		}
 	})
 	o.prof.parseNs.Add(int64(d))
@@ -890,8 +924,24 @@ func (r *run) parseTask(item posItem, slot *workerSlot, ramped bool) {
 	o.releaseMap(item.tc.ID, item.pm)
 	o.prof.parseChunks.Add(1)
 	if o.cfg.CollectStats {
-		if err := r.recordStats(bc); err != nil {
+		// Only the freshly converted columns: the merged-in loaded columns
+		// had their statistics recorded when they were first converted.
+		if err := r.recordStats(bc, cols); err != nil {
 			r.fail(err)
+			bc.RecycleColumns()
+			r.freeBin <- struct{}{}
+			return
+		}
+	}
+	if partial {
+		// Merge the loaded requested columns in from their pages. The merged
+		// chunk owns the vectors; dbc itself is just the carrier.
+		dbc, derr := o.dbRead(bc.ID, plan.fromDB)
+		if derr == nil {
+			derr = bc.Merge(dbc)
+		}
+		if derr != nil {
+			r.fail(derr)
 			bc.RecycleColumns()
 			r.freeBin <- struct{}{}
 			return
@@ -936,7 +986,11 @@ func (r *run) parseTask(item posItem, slot *workerSlot, ramped bool) {
 	}
 	select {
 	case r.deliverCh <- bc:
-		r.deliveredRaw.Add(1)
+		if partial {
+			r.deliveredPartial.Add(1)
+		} else {
+			r.deliveredRaw.Add(1)
+		}
 		r.poke() // cache gained a chunk: wake the speculative scheduler
 	case <-r.done:
 		_ = o.cache.Unpin(bc.ID)
@@ -974,8 +1028,8 @@ func (r *run) retireEvicted(evicted *BinaryChunk, evictedLoaded bool) error {
 	return nil
 }
 
-func (r *run) recordStats(bc *BinaryChunk) error {
-	for _, c := range r.req.Columns {
+func (r *run) recordStats(bc *BinaryChunk, cols []int) error {
+	for _, c := range cols {
 		v := bc.Column(c)
 		if v == nil {
 			continue
@@ -1032,11 +1086,11 @@ func (r *run) writeLoop() {
 
 // scheduler implements speculative loading (§4): whenever READ is blocked
 // on a full text buffer — or has finished and the safeguard is active —
-// the disk is idle, so write the oldest unloaded cached chunk. Writing
-// stops the moment READ wants the disk back.
+// the disk is idle, so spend one speculation quantum (a payoff-ranked
+// column group, or the oldest unloaded cached chunk under scan order).
+// Writing stops the moment READ wants the disk back.
 func (r *run) scheduler() {
 	defer r.schedWG.Done()
-	o := r.op
 	for {
 		select {
 		case <-r.specNotify:
@@ -1046,20 +1100,13 @@ func (r *run) scheduler() {
 			return
 		}
 		for r.writableNow() {
-			// The pin protects the chunk from a concurrent eviction (and the
-			// vector recycling that follows) while it is being written.
-			bc := o.cache.AcquireOldestUnloaded()
-			if bc == nil {
-				break
-			}
-			err := r.runWrite(bc)
-			if uerr := o.cache.Unpin(bc.ID); err == nil {
-				err = uerr
-			}
-			r.gate.broadcast()
+			wrote, err := r.specStep()
 			if err != nil {
 				r.fail(err)
 				return
+			}
+			if !wrote {
+				break
 			}
 			select {
 			case <-r.finish:

@@ -173,6 +173,17 @@ type Config struct {
 	// is on by default — falls back to tok+parse automatically whenever
 	// the query needs a cacheable positional map (CachePositionalMaps).
 	FusedKernels FusedMode
+	// Speculation ranks what the Speculative write policy loads during
+	// disk-idle windows. SpecScan — the zero value — is the paper's
+	// oldest-first order; SpecPayoff is workload-driven and needs
+	// ColumnWeights.
+	Speculation SpecPolicy
+	// ColumnWeights, when non-nil, supplies the current per-column workload
+	// weights (one per schema ordinal) for SpecPayoff ranking. It is called
+	// on every speculation quantum and must be safe for concurrent use. A
+	// nil func, a wrong-width slice, or all-zero weights fall back to scan
+	// order (the cold-workload fallback).
+	ColumnWeights func() []float64
 }
 
 func (c Config) withDefaults() Config {
@@ -284,11 +295,18 @@ type RunStats struct {
 	DeliveredCache int
 	DeliveredDB    int
 	DeliveredRaw   int
+	// DeliveredPartial counts partial-width hits: chunks served by reading
+	// their loaded column groups from the database and converting only the
+	// missing groups from raw.
+	DeliveredPartial int
 	// SkippedChunks counts chunks excluded by min/max statistics.
 	SkippedChunks int
 	// WrittenDuringRun counts chunks loaded into the database while the
 	// query executed (speculative/full/buffered/invisible writes).
 	WrittenDuringRun int
+	// GroupWritesDuringRun counts single column-group page writes issued by
+	// the payoff-ranked speculative scheduler (SpecPayoff quanta).
+	GroupWritesDuringRun int
 	// FlushedAfterRun counts chunks queued for the safeguard flush that
 	// runs after delivery completes (its writes overlap the next query's
 	// cached-chunk processing, §4).
@@ -316,7 +334,9 @@ type RunStats struct {
 }
 
 // Delivered returns the total chunks delivered to the engine.
-func (s RunStats) Delivered() int { return s.DeliveredCache + s.DeliveredDB + s.DeliveredRaw }
+func (s RunStats) Delivered() int {
+	return s.DeliveredCache + s.DeliveredDB + s.DeliveredRaw + s.DeliveredPartial
+}
 
 // Operator is a SCANRAW instance attached to one raw file. It is created
 // once and reused by every query over that file; Run is not safe for
@@ -643,5 +663,24 @@ func (o *Operator) writeChunk(bc *BinaryChunk) error {
 	}
 	o.prof.writeCh.Add(1)
 	o.cache.MarkLoaded(bc.ID)
+	return nil
+}
+
+// writeChunkGroup stores one column group of a cached chunk through the
+// disk arbiter — the payoff scheduler's write quantum. The cache entry is
+// marked loaded only once the catalog covers every column the entry holds,
+// so the safeguard flush still writes whatever groups remain.
+func (o *Operator) writeChunkGroup(bc *BinaryChunk, cols []int) error {
+	o.arbiter.Lock()
+	start := time.Now()
+	err := o.store.WriteChunkColumns(o.table, bc, cols)
+	o.prof.writeNs.Add(int64(time.Since(start)))
+	o.arbiter.Unlock()
+	if err != nil {
+		return err
+	}
+	if meta, ok := o.table.Chunk(bc.ID); ok && meta.LoadedAll(bc.Present()) {
+		o.cache.MarkLoaded(bc.ID)
+	}
 	return nil
 }

@@ -318,8 +318,11 @@ func TestSelectivePartialColumnLoading(t *testing.T) {
 	if got, want := res2.Rows[0][0].Int, gen.SumRange(env.spec, []int{0, 1}, 0, 256); got != want {
 		t.Errorf("sum(c0+c1) = %d, want %d", got, want)
 	}
-	if st2.DeliveredRaw == 0 {
+	if st2.DeliveredRaw+st2.DeliveredPartial == 0 {
 		t.Error("query 2 should have read raw data for the missing column")
+	}
+	if st2.DeliveredPartial == 0 {
+		t.Error("query 2 should be a partial-width hit: c1 from its pages, only c0 converted")
 	}
 	// Query 3 over c0+c1 is now served from the database (cache too small).
 	_, st3, err := ExecuteQuery(op, q2)

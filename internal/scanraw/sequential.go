@@ -13,15 +13,17 @@ import (
 // Speculative the write of the oldest unloaded chunk happens after each
 // conversion, when the disk would otherwise idle until the next read.
 func (o *Operator) runSequential(ctx context.Context, req Request, del *deliverer, delivered map[int]bool, gate *cacheGate) (*run, error) {
+	convCols := o.store.GroupClosure(o.table, req.Columns)
 	r := &run{
-		op:      o,
-		req:     req,
-		del:     del,
-		upTo:    req.Columns[len(req.Columns)-1] + 1,
-		kern:    o.fusedKernel(req.Columns),
-		done:    make(chan struct{}),
-		seqSlot: &workerSlot{},
-		gate:    gate,
+		op:       o,
+		req:      req,
+		del:      del,
+		convCols: convCols,
+		upTo:     convCols[len(convCols)-1] + 1,
+		kern:     o.fusedKernel(convCols),
+		done:     make(chan struct{}),
+		seqSlot:  &workerSlot{},
+		gate:     gate,
 	}
 	r.invisibleLeft.Store(int64(o.cfg.InvisibleChunksPerQuery))
 
@@ -65,6 +67,11 @@ func (o *Operator) runSequential(ctx context.Context, req Request, del *delivere
 				off = next
 				continue
 			default:
+				// Partial-width hit: convert only the missing groups; the
+				// loaded requested columns merge in from their pages.
+				if plan := r.planFor(meta); len(plan.fromDB) > 0 {
+					r.setPlan(id, plan)
+				}
 				data, err := sc.readExtent(off, meta.RawLen)
 				if err != nil {
 					return r, err
@@ -135,12 +142,21 @@ func (r *run) insertAndDeliver(bc *BinaryChunk, loaded bool) error {
 // convertAndDeliver runs the conversion stages inline for one chunk.
 func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
 	o := r.op
+	cols := r.convCols
+	kern := r.kern
+	plan, partial := r.plan(tc.ID)
+	if partial {
+		cols = plan.convert
+		if kern != nil {
+			kern = r.kernFor(cols)
+		}
+	}
 	var bc *BinaryChunk
 	var err error
-	if r.kern != nil {
+	if kern != nil {
 		// Fused conversion: one pass, no positional map; accounted to the
 		// Parse stage (Tokenize stays zero under fused kernels).
-		d := o.cpuWork(r.seqSlot, func() { bc, err = r.kern.Convert(tc) })
+		d := o.cpuWork(r.seqSlot, func() { bc, err = kern.Convert(tc) })
 		o.prof.parseNs.Add(int64(d))
 		if err != nil {
 			return err
@@ -150,7 +166,7 @@ func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
 		if terr != nil {
 			return terr
 		}
-		d := o.cpuWork(r.seqSlot, func() { bc, err = o.parser.Parse(tc, pm, r.req.Columns) })
+		d := o.cpuWork(r.seqSlot, func() { bc, err = o.parser.Parse(tc, pm, cols) })
 		o.prof.parseNs.Add(int64(d))
 		o.releaseMap(tc.ID, pm)
 		if err != nil {
@@ -159,9 +175,19 @@ func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
 	}
 	o.prof.parseChunks.Add(1)
 	if o.cfg.CollectStats {
-		if err := r.recordStats(bc); err != nil {
+		if err := r.recordStats(bc, cols); err != nil {
 			bc.RecycleColumns()
 			return err
+		}
+	}
+	if partial {
+		dbc, derr := o.dbRead(tc.ID, plan.fromDB)
+		if derr == nil {
+			derr = bc.Merge(dbc)
+		}
+		if derr != nil {
+			bc.RecycleColumns()
+			return derr
 		}
 	}
 	loaded := false
@@ -184,21 +210,17 @@ func (r *run) convertAndDeliver(tc *chunk.TextChunk) error {
 	if err := r.insertAndDeliver(bc, loaded); err != nil {
 		return err
 	}
-	r.deliveredRaw.Add(1)
+	if partial {
+		r.deliveredPartial.Add(1)
+	} else {
+		r.deliveredRaw.Add(1)
+	}
 	// Speculative loading without overlap: the disk idles while the next
-	// chunk is converted, so load the oldest unloaded cached chunk now. The
-	// pin shields the chunk from a concurrent eviction (a fan-out consume of
-	// an earlier chunk may release pins mid-write).
+	// chunk is converted, so spend one speculation quantum now (specStep
+	// pins whatever it writes, shielding it from a concurrent eviction).
 	if o.cfg.Policy == Speculative {
-		if old := o.cache.AcquireOldestUnloaded(); old != nil {
-			werr := r.runWrite(old)
-			if uerr := o.cache.Unpin(old.ID); werr == nil {
-				werr = uerr
-			}
-			r.gate.broadcast()
-			if werr != nil {
-				return werr
-			}
+		if _, err := r.specStep(); err != nil {
+			return err
 		}
 	}
 	return nil

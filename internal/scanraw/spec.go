@@ -1,0 +1,265 @@
+package scanraw
+
+import (
+	"fmt"
+	"sort"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/kernel"
+)
+
+// Speculation policy and partial-width planning. Both follow the paper's
+// sequel ("Workload-Driven Vertical Partitioning over Raw Data"): converted
+// data lives as column-group pages, a query is served from any mix of
+// loaded groups plus conversion of only the missing ones, and idle disk
+// time goes to the (chunk, column-group) pair the workload values most.
+
+// SpecPolicy selects what the speculative scheduler loads when the disk is
+// idle.
+type SpecPolicy uint8
+
+const (
+	// SpecScan — the zero value — writes the oldest unloaded cached chunk
+	// at full width: the paper's original scan-order speculation (§4).
+	SpecScan SpecPolicy = iota
+	// SpecPayoff ranks every (cached chunk, column group) candidate by
+	// predicted benefit — workload access weight × unloaded width × chunk
+	// selectivity — and writes the best single group per disk-idle quantum,
+	// falling back to scan order while the workload is cold.
+	SpecPayoff
+)
+
+func (p SpecPolicy) String() string {
+	switch p {
+	case SpecScan:
+		return "scan"
+	case SpecPayoff:
+		return "payoff"
+	default:
+		return fmt.Sprintf("SpecPolicy(%d)", uint8(p))
+	}
+}
+
+// ParseSpecPolicy parses a -spec-policy flag value.
+func ParseSpecPolicy(s string) (SpecPolicy, error) {
+	switch s {
+	case "scan":
+		return SpecScan, nil
+	case "payoff":
+		return SpecPayoff, nil
+	}
+	return 0, fmt.Errorf("scanraw: unknown speculation policy %q (want scan or payoff)", s)
+}
+
+// partialPlan splits one chunk's service between raw conversion and the
+// database: convert holds the columns to tokenize+parse (the missing
+// requested columns, rounded up to group boundaries), fromDB the requested
+// columns read from already-loaded pages and merged in before delivery.
+type partialPlan struct {
+	convert []int
+	fromDB  []int
+}
+
+// planFor computes the partial-width plan for a chunk from its catalog
+// metadata. A chunk with no loaded requested column converts the run-wide
+// closure (fromDB empty); a chunk with every requested column loaded never
+// reaches here (the full-width database path serves it).
+func (r *run) planFor(meta *dbstore.ChunkMeta) partialPlan {
+	var fromDB, missing []int
+	for _, c := range r.req.Columns {
+		if c < len(meta.Loaded) && meta.Loaded[c] {
+			fromDB = append(fromDB, c)
+		} else {
+			missing = append(missing, c)
+		}
+	}
+	if len(fromDB) == 0 {
+		return partialPlan{convert: r.convCols}
+	}
+	var convert []int
+	for _, c := range r.op.store.GroupClosure(r.op.table, missing) {
+		// The closure can pull in loaded columns of partially-loaded groups
+		// (legacy pages, width changes); their pages exist, so skip them.
+		if c < len(meta.Loaded) && meta.Loaded[c] {
+			continue
+		}
+		convert = append(convert, c)
+	}
+	return partialPlan{convert: convert, fromDB: fromDB}
+}
+
+// setPlan registers a chunk's partial plan for the conversion stages; READ
+// computes plans (it holds the chunk metadata), PARSE consumes them.
+func (r *run) setPlan(id int, p partialPlan) {
+	r.plansMu.Lock()
+	if r.plans == nil {
+		r.plans = make(map[int]partialPlan)
+	}
+	r.plans[id] = p
+	r.plansMu.Unlock()
+}
+
+// plan looks a chunk's partial plan up; ok=false means full conversion.
+func (r *run) plan(id int) (partialPlan, bool) {
+	r.plansMu.Lock()
+	p, ok := r.plans[id]
+	r.plansMu.Unlock()
+	return p, ok
+}
+
+// kernFor returns a fused kernel for a partial plan's convert set, cached
+// per column set — partial-width chunks convert different subsets, and
+// kernel construction is per (schema, columns). Falls back to the run-wide
+// kernel (a superset conversion) if construction fails.
+func (r *run) kernFor(cols []int) *kernel.Kernel {
+	key := dbstore.EncodeColGroupKey(cols)
+	r.kernsMu.Lock()
+	defer r.kernsMu.Unlock()
+	if k, ok := r.kerns[key]; ok {
+		return k
+	}
+	k, err := kernel.For(r.op.table.Schema(), cols, r.op.cfg.Delim)
+	if err != nil {
+		k = r.kern
+	}
+	if r.kerns == nil {
+		r.kerns = make(map[string]*kernel.Kernel)
+	}
+	r.kerns[key] = k
+	return k
+}
+
+// specStep performs one quantum of speculative loading: under SpecPayoff a
+// single best-ranked column-group write, otherwise (or as the cold-workload
+// fallback) the oldest unloaded cached chunk at full width. It reports
+// whether anything was written; the caller loops while the disk stays idle.
+func (r *run) specStep() (bool, error) {
+	o := r.op
+	if o.cfg.Speculation == SpecPayoff {
+		wrote, handled, err := r.payoffStep()
+		if handled || err != nil {
+			return wrote, err
+		}
+	}
+	bc := o.cache.AcquireOldestUnloaded()
+	if bc == nil {
+		return false, nil
+	}
+	err := r.runWrite(bc)
+	if uerr := o.cache.Unpin(bc.ID); err == nil {
+		err = uerr
+	}
+	r.gate.broadcast()
+	return err == nil, err
+}
+
+// specCand is one rankable speculation candidate: the unloaded columns of
+// one partition group of one cached chunk.
+type specCand struct {
+	id    int
+	cols  []int
+	score float64
+}
+
+// payoffStep ranks the (cached chunk, column group) candidates and writes
+// the best one. handled=false hands control to the scan-order fallback:
+// the workload is cold (nil/mismatched/all-zero weights) or nothing the
+// workload wants is still unloaded.
+func (r *run) payoffStep() (wrote, handled bool, err error) {
+	o := r.op
+	wf := o.cfg.ColumnWeights
+	if wf == nil {
+		return false, false, nil
+	}
+	weights := wf()
+	n := o.table.Schema().NumColumns()
+	if len(weights) != n {
+		return false, false, nil
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return false, false, nil
+	}
+	groups := dbstore.GroupPartition(n, o.store.GroupWidth())
+	var cands []specCand
+	for _, id := range o.cache.UnloadedIDs() {
+		meta, ok := o.table.Chunk(id)
+		if !ok {
+			continue
+		}
+		for _, g := range groups {
+			var unloaded []int
+			w := 0.0
+			for _, c := range g {
+				if c < len(meta.Loaded) && meta.Loaded[c] {
+					continue
+				}
+				unloaded = append(unloaded, c)
+				w += weights[c]
+			}
+			if len(unloaded) == 0 || w <= 0 {
+				continue
+			}
+			score := w * float64(len(unloaded)) * chunkSelectivity(meta, unloaded)
+			cands = append(cands, specCand{id: id, cols: unloaded, score: score})
+		}
+	}
+	// Stable sort keeps scan order among equal scores, so the policy
+	// degrades gracefully toward the paper's behaviour.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	for _, c := range cands {
+		bc := o.cache.Acquire(c.id)
+		if bc == nil {
+			continue
+		}
+		if !bc.HasAll(c.cols) {
+			// The cached copy lacks part of the group (read back narrow, or
+			// converted for a narrower query): not writable from here.
+			if uerr := o.cache.Unpin(c.id); uerr != nil {
+				return false, true, uerr
+			}
+			continue
+		}
+		werr := o.writeChunkGroup(bc, c.cols)
+		if uerr := o.cache.Unpin(c.id); werr == nil {
+			werr = uerr
+		}
+		r.gate.broadcast()
+		if werr != nil {
+			return false, true, werr
+		}
+		r.groupWrites.Add(1)
+		return true, true, nil
+	}
+	return false, false, nil
+}
+
+// chunkSelectivity estimates how useful a chunk's columns are to selective
+// queries: the average of min(1, Distinct/Rows) over the columns with valid
+// statistics, defaulting to 1 (maximally useful) when nothing is known —
+// statistics should focus speculation, never veto it.
+func chunkSelectivity(meta *dbstore.ChunkMeta, cols []int) float64 {
+	sum, n := 0.0, 0
+	for _, c := range cols {
+		if c >= len(meta.Stats) {
+			continue
+		}
+		st := meta.Stats[c]
+		if !st.Valid || st.Rows <= 0 {
+			continue
+		}
+		f := float64(st.Distinct) / float64(st.Rows)
+		if f > 1 {
+			f = 1
+		}
+		sum += f
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}

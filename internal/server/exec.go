@@ -82,6 +82,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	s.met.queries.Add(1)
 	s.met.execRequests.Add(1)
 	s.met.policyCount(entry.cfg.Policy)
+	s.recordAccess(entry, q.RequiredColumns())
 
 	ctx := r.Context()
 	timeout := s.cfg.DefaultTimeout

@@ -24,11 +24,13 @@ type counters struct {
 	terminatedEarly atomic.Int64 // scans stopped before end-of-file by demand
 	chunksSaved     atomic.Int64 // chunks those scans never read or converted
 
-	deliveredCache atomic.Int64
-	deliveredDB    atomic.Int64
-	deliveredRaw   atomic.Int64
-	skipped        atomic.Int64
-	chunksLoaded   atomic.Int64 // chunks written to the database during scans
+	deliveredCache   atomic.Int64
+	deliveredDB      atomic.Int64
+	deliveredRaw     atomic.Int64
+	deliveredPartial atomic.Int64 // partial-width hits: loaded groups merged with a narrow conversion
+	skipped          atomic.Int64
+	chunksLoaded     atomic.Int64 // chunks written to the database during scans
+	specGroupWrites  atomic.Int64 // column groups written by payoff-ranked speculation
 
 	perPolicy [5]atomic.Int64 // indexed by scanraw.WritePolicy
 }
@@ -48,19 +50,24 @@ func (s *Server) recordScan(st scanraw.RunStats, batchSize int) {
 	s.met.deliveredCache.Add(int64(st.DeliveredCache))
 	s.met.deliveredDB.Add(int64(st.DeliveredDB))
 	s.met.deliveredRaw.Add(int64(st.DeliveredRaw))
+	s.met.deliveredPartial.Add(int64(st.DeliveredPartial))
 	s.met.skipped.Add(int64(st.SkippedChunks))
 	s.met.chunksLoaded.Add(int64(st.WrittenDuringRun))
+	s.met.specGroupWrites.Add(int64(st.GroupWritesDuringRun))
 	if st.TerminatedEarly {
 		s.met.terminatedEarly.Add(1)
 		s.met.chunksSaved.Add(int64(st.ChunksSaved))
 	}
 }
 
-// ChunkCounts breaks chunk deliveries down by source.
+// ChunkCounts breaks chunk deliveries down by source. Partial counts
+// partial-width hits — chunks assembled from loaded column groups plus a
+// conversion of only the missing groups.
 type ChunkCounts struct {
 	Cache   int64 `json:"cache"`
 	DB      int64 `json:"db"`
 	Raw     int64 `json:"raw"`
+	Partial int64 `json:"partial"`
 	Skipped int64 `json:"skipped"`
 }
 
@@ -98,6 +105,14 @@ type MetricsSnapshot struct {
 	CacheHitRate    float64     `json:"cache_hit_rate"`
 	ChunksDelivered ChunkCounts `json:"chunks_delivered"`
 	ChunksLoaded    int64       `json:"chunks_loaded_total"`
+	// SpecGroupWrites counts column groups written by payoff-ranked
+	// speculation (narrower than a chunk; full-chunk scan-order writes land
+	// in ChunksLoaded instead).
+	SpecGroupWrites int64 `json:"spec_group_writes_total"`
+
+	// WorkloadWeights is each table's live per-column access profile —
+	// exponentially decayed counts, the payoff policy's frequency term.
+	WorkloadWeights map[string][]float64 `json:"workload_weights"`
 
 	// Pin-leak gauges, aggregated over every live operator's chunk cache.
 	// Pins are transient (held only while a chunk is being consumed), so a
@@ -127,6 +142,7 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	cache := s.met.deliveredCache.Load()
 	db := s.met.deliveredDB.Load()
 	raw := s.met.deliveredRaw.Load()
+	partial := s.met.deliveredPartial.Load()
 	snap := MetricsSnapshot{
 		UptimeMS:         time.Since(s.start).Milliseconds(),
 		Queries:          s.met.queries.Load(),
@@ -153,9 +169,11 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 			Cache:   cache,
 			DB:      db,
 			Raw:     raw,
+			Partial: partial,
 			Skipped: s.met.skipped.Load(),
 		},
 		ChunksLoaded:    s.met.chunksLoaded.Load(),
+		SpecGroupWrites: s.met.specGroupWrites.Load(),
 		QueriesByPolicy: make(map[string]int64),
 		LiveOperators:   s.reg.Len(),
 	}
@@ -167,7 +185,7 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	snap.CacheEntries = cs.Entries
 	snap.CachePinnedEntries = cs.PinnedEntries
 	snap.CachePinCount = cs.PinCount
-	if total := cache + db + raw; total > 0 {
+	if total := cache + db + raw + partial; total > 0 {
 		snap.CacheHitRate = float64(cache) / float64(total)
 	}
 	for i := range s.met.perPolicy {
@@ -177,6 +195,12 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	}
 	s.mu.RLock()
 	snap.Tables = len(s.tables)
+	snap.WorkloadWeights = make(map[string][]float64, len(s.tables))
+	for name, e := range s.tables {
+		if e.tracker.Total() > 0 {
+			snap.WorkloadWeights[name] = e.tracker.Weights()
+		}
+	}
 	s.mu.RUnlock()
 	return snap
 }

@@ -41,6 +41,7 @@ import (
 	"scanraw/internal/metrics"
 	"scanraw/internal/scanraw"
 	"scanraw/internal/schema"
+	"scanraw/internal/workload"
 )
 
 // Config parameterizes a Server.
@@ -77,12 +78,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// tableEntry is one servable table: its catalog entry plus the operator
-// configuration new operators for it are created with.
+// tableEntry is one servable table: its catalog entry, the operator
+// configuration new operators for it are created with, and the workload
+// tracker that turns the query stream into per-column access weights for
+// payoff-ranked speculation.
 type tableEntry struct {
-	table *dbstore.Table
-	cfg   scanraw.Config
+	table   *dbstore.Table
+	cfg     scanraw.Config
+	tracker *workload.Tracker
+	// accesses counts tracker recordings; every workloadFlushEvery-th one
+	// persists the decayed weights through the catalog journal so a restart
+	// resumes speculation with a warm profile.
+	accesses atomic.Int64
 }
+
+// workloadFlushEvery is how many recorded accesses pass between workload
+// persistence points. Flushing every query would put a journal append on
+// the serving hot path; one in sixteen keeps the persisted profile close
+// to live while amortizing the write.
+const workloadFlushEvery = 16
 
 // Server is the query-serving subsystem: it owns an operator registry
 // over a store and serves SQL against registered tables.
@@ -158,6 +172,11 @@ slots:
 		if op, ok := s.reg.Lookup(e.table.RawFile()); ok {
 			op.WaitIdle()
 		}
+		// Flush the final workload profile so the checkpoint below folds it
+		// in — the next process starts speculating where this one left off.
+		if e.accesses.Load() > 0 {
+			_ = s.store.SetWorkload(e.table.Name(), e.tracker.Weights())
+		}
 	}
 	if err := s.store.Checkpoint(); err != nil {
 		return err
@@ -166,15 +185,35 @@ slots:
 }
 
 // AddTable registers a table for serving with the given operator
-// configuration.
+// configuration. The server attaches a workload tracker and wires its
+// weights into the operator config here — the operator is created once, on
+// the first query, so the config must be final before it is stored.
 func (s *Server) AddTable(t *dbstore.Table, opCfg scanraw.Config) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.tables[t.Name()]; dup {
 		return fmt.Errorf("server: table %q already registered", t.Name())
 	}
-	s.tables[t.Name()] = &tableEntry{table: t, cfg: opCfg}
+	tr := workload.New(t.Schema().NumColumns(), 0)
+	if w := s.store.Workload(t.Name()); w != nil {
+		// Warm start: resume from the profile persisted before the last
+		// shutdown instead of falling back to scan-order speculation.
+		tr.Seed(w)
+	}
+	opCfg.ColumnWeights = tr.Weights
+	s.tables[t.Name()] = &tableEntry{table: t, cfg: opCfg, tracker: tr}
 	return nil
+}
+
+// recordAccess folds one query's required columns into the table's workload
+// profile, periodically persisting the decayed weights through the journal.
+func (s *Server) recordAccess(e *tableEntry, cols []int) {
+	e.tracker.Record(cols)
+	if e.accesses.Add(1)%workloadFlushEvery == 0 {
+		// Persistence is best-effort: a failed journal append costs a warm
+		// profile on the next restart, never the query.
+		_ = s.store.SetWorkload(e.table.Name(), e.tracker.Weights())
+	}
 }
 
 // workerBusyTotal sums cumulative worker-busy time across the live
@@ -250,10 +289,13 @@ type queryStats struct {
 	ScanChunksCache int     `json:"scan_chunks_cache"`
 	ScanChunksDB    int     `json:"scan_chunks_db"`
 	ScanChunksRaw   int     `json:"scan_chunks_raw"`
-	ChunksDelivered int     `json:"chunks_delivered"` // to this query, after its skip filter
-	ChunksSkipped   int     `json:"chunks_skipped"`
-	ChunksLoaded    int     `json:"chunks_loaded"` // loaded into the database during the scan
-	Policy          string  `json:"policy"`
+	// ScanChunksPartial counts partial-width hits: chunks served by merging
+	// already-loaded column groups with a narrow conversion of the rest.
+	ScanChunksPartial int    `json:"scan_chunks_partial"`
+	ChunksDelivered   int    `json:"chunks_delivered"` // to this query, after its skip filter
+	ChunksSkipped     int    `json:"chunks_skipped"`
+	ChunksLoaded      int    `json:"chunks_loaded"` // loaded into the database during the scan
+	Policy            string `json:"policy"`
 	// TerminatedEarly reports the physical scan stopped before end-of-file
 	// because every query it served was provably complete; ChunksSaved is
 	// how many chunks that saved reading or converting.
@@ -368,6 +410,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer func() { <-s.slots }()
 	s.met.queries.Add(1)
 	s.met.policyCount(entry.cfg.Policy)
+	s.recordAccess(entry, q.RequiredColumns())
 
 	ctx := r.Context()
 	timeout := s.cfg.DefaultTimeout
@@ -423,17 +466,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	st := queryStats{
-		DurationMS:      float64(time.Since(start).Microseconds()) / 1000,
-		BatchSize:       pr.batchSize,
-		ScanChunksCache: pr.scan.DeliveredCache,
-		ScanChunksDB:    pr.scan.DeliveredDB,
-		ScanChunksRaw:   pr.scan.DeliveredRaw,
-		ChunksDelivered: pr.shared.DeliveredChunks,
-		ChunksSkipped:   pr.shared.SkippedChunks,
-		ChunksLoaded:    pr.scan.WrittenDuringRun,
-		Policy:          entry.cfg.Policy.String(),
-		TerminatedEarly: pr.scan.TerminatedEarly,
-		ChunksSaved:     pr.scan.ChunksSaved,
+		DurationMS:        float64(time.Since(start).Microseconds()) / 1000,
+		BatchSize:         pr.batchSize,
+		ScanChunksCache:   pr.scan.DeliveredCache,
+		ScanChunksDB:      pr.scan.DeliveredDB,
+		ScanChunksRaw:     pr.scan.DeliveredRaw,
+		ScanChunksPartial: pr.scan.DeliveredPartial,
+		ChunksDelivered:   pr.shared.DeliveredChunks,
+		ChunksSkipped:     pr.shared.SkippedChunks,
+		ChunksLoaded:      pr.scan.WrittenDuringRun,
+		Policy:            entry.cfg.Policy.String(),
+		TerminatedEarly:   pr.scan.TerminatedEarly,
+		ChunksSaved:       pr.scan.ChunksSaved,
 	}
 	if streamer != nil {
 		// Rows already streamed chunk-by-chunk; close with the stats trailer.

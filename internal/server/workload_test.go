@@ -1,0 +1,103 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"testing"
+
+	"scanraw/internal/dbstore"
+	"scanraw/internal/gen"
+	"scanraw/internal/scanraw"
+	"scanraw/internal/vdisk"
+)
+
+// TestWorkloadTrackingAndMetrics drives a skewed query stream and checks
+// the serving layer's workload plumbing end to end: the tracker weights
+// the hot column above the cold one, /metrics exposes the profile and the
+// partial-hit delivery counter, and after enough accesses the profile is
+// persisted into the catalog for the next process to seed from.
+func TestWorkloadTrackingAndMetrics(t *testing.T) {
+	env := newServerEnv(t, 512, nil, Config{}, scanraw.Config{
+		Workers: 2, CacheChunks: 8, Policy: scanraw.Speculative, Safeguard: true,
+		CollectStats: true, Speculation: scanraw.SpecPayoff,
+	})
+	// Column 1 is hot: 2 * workloadFlushEvery accesses guarantee at least
+	// one persistence point; column 3 gets a single access.
+	for i := 0; i < 2*workloadFlushEvery; i++ {
+		if status, out := postQuery(t, env, `{"sql": "SELECT SUM(c1) FROM data"}`); status != http.StatusOK {
+			t.Fatalf("query %d: status %d: %v", i, status, out)
+		}
+	}
+	if status, _ := postQuery(t, env, `{"sql": "SELECT SUM(c3) FROM data"}`); status != http.StatusOK {
+		t.Fatal("cold-column query failed")
+	}
+
+	snap := env.srv.MetricsSnapshot()
+	w, ok := snap.WorkloadWeights["data"]
+	if !ok || len(w) != 4 {
+		t.Fatalf("workload_weights missing or wrong width: %v", snap.WorkloadWeights)
+	}
+	if w[1] <= w[3] || w[1] <= w[0] {
+		t.Errorf("hot column not dominant: weights = %v", w)
+	}
+	// Repeat queries over an already-loaded narrow column mean later scans
+	// were served from cache/db/partial, not re-converted; the hot queries
+	// after the first must not all be raw.
+	total := snap.ChunksDelivered.Cache + snap.ChunksDelivered.DB + snap.ChunksDelivered.Partial
+	if total == 0 {
+		t.Errorf("no cached/db/partial deliveries across repeat queries: %+v", snap.ChunksDelivered)
+	}
+
+	// The decayed profile crossed a flush point, so the catalog has it.
+	persisted := env.srv.store.Workload("data")
+	if len(persisted) != 4 {
+		t.Fatalf("persisted workload = %v, want width 4", persisted)
+	}
+	if persisted[1] <= persisted[0] {
+		t.Errorf("persisted profile lost the skew: %v", persisted)
+	}
+}
+
+// TestWorkloadWarmStartSeedsTracker: a profile already in the catalog (as
+// after a restart replaying RecWorkload) must seed the table's tracker at
+// AddTable time, so payoff speculation is warm from the first query.
+func TestWorkloadWarmStartSeedsTracker(t *testing.T) {
+	d := vdisk.Unlimited()
+	spec := gen.CSVSpec{Rows: 64, Cols: 4, Seed: 1, MaxValue: 100}
+	gen.Preload(d, "raw/data.csv", spec)
+	store := dbstore.NewStore(d)
+	table, err := store.CreateTable("data", spec.Schema(), "raw/data.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetWorkload("data", []float64{0, 9, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(store, Config{})
+	if err := s.AddTable(table, scanraw.Config{Workers: 1, ChunkLines: 32, CacheChunks: 4}); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.RLock()
+	e := s.tables["data"]
+	s.mu.RUnlock()
+	w := e.tracker.Weights()
+	if len(w) != 4 || w[1] <= w[3] || w[3] <= w[0] {
+		t.Fatalf("tracker not seeded from catalog: %v", w)
+	}
+	// The operator config must carry the weights source — payoff
+	// speculation reads it every quantum.
+	if e.cfg.ColumnWeights == nil {
+		t.Fatal("entry config has no ColumnWeights source")
+	}
+	got := e.cfg.ColumnWeights()
+	if len(got) != len(w) {
+		t.Fatalf("config weights = %v, tracker = %v", got, w)
+	}
+	for i := range got {
+		// Successive reads decay independently; only gross drift is a bug.
+		if math.Abs(got[i]-w[i]) > 0.01 {
+			t.Errorf("config weights = %v, tracker = %v", got, w)
+			break
+		}
+	}
+}

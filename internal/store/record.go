@@ -36,6 +36,18 @@ const (
 	RecLoaded
 	// RecComplete records that the raw file has been scanned end to end.
 	RecComplete
+	// RecLoadedGroup records that one column-group page — the listed column
+	// ordinals stored together in a single page blob — of a chunk was
+	// durably written. Like RecLoaded it is appended only after the page
+	// blob is on disk (data before metadata). RecLoaded is kept for
+	// replaying pre-colgroup manifests, whose pages are one blob per
+	// column.
+	RecLoadedGroup
+	// RecWorkload upserts a table's decayed per-column access weights — the
+	// workload tracker's state, persisted so a restart resumes payoff-ranked
+	// speculation instead of falling back to scan order. Idempotent: the
+	// latest record for a table wins.
+	RecWorkload
 )
 
 func (t RecType) String() string {
@@ -50,6 +62,10 @@ func (t RecType) String() string {
 		return "loaded"
 	case RecComplete:
 		return "complete"
+	case RecLoadedGroup:
+		return "loaded-group"
+	case RecWorkload:
+		return "workload"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}
@@ -88,12 +104,15 @@ type Record struct {
 	RawOff int64
 	RawLen int64
 
-	// RecLoaded
+	// RecLoaded / RecLoadedGroup
 	Cols []int
 
 	// RecStats
 	Col   int
 	Stats ColStatsRec
+
+	// RecWorkload
+	Weights []float64
 }
 
 // Encoding limits: a decoded field exceeding these is corruption, not data.
@@ -252,11 +271,16 @@ func EncodeRecord(r Record) []byte {
 		e.str(s.MaxStr)
 		e.ivar(s.Rows)
 		e.ivar(s.Distinct)
-	case RecLoaded:
+	case RecLoaded, RecLoadedGroup:
 		e.uvar(uint64(r.Chunk))
 		e.uvar(uint64(len(r.Cols)))
 		for _, c := range r.Cols {
 			e.uvar(uint64(c))
+		}
+	case RecWorkload:
+		e.uvar(uint64(len(r.Weights)))
+		for _, w := range r.Weights {
+			e.f64(w)
 		}
 	case RecComplete:
 	default:
@@ -297,13 +321,21 @@ func DecodeRecord(p []byte) (Record, error) {
 		r.Stats.MaxStr = d.str()
 		r.Stats.Rows = d.ivar()
 		r.Stats.Distinct = d.ivar()
-	case RecLoaded:
+	case RecLoaded, RecLoadedGroup:
 		r.Chunk = d.count(maxChunkID, "chunk id")
 		n := d.count(maxCols, "column count")
 		if d.err == nil && n > 0 {
 			r.Cols = make([]int, 0, min(n, 64))
 			for i := 0; i < n && d.err == nil; i++ {
 				r.Cols = append(r.Cols, d.count(maxCols, "column"))
+			}
+		}
+	case RecWorkload:
+		n := d.count(maxCols, "weight count")
+		if d.err == nil && n > 0 {
+			r.Weights = make([]float64, 0, min(n, 64))
+			for i := 0; i < n && d.err == nil; i++ {
+				r.Weights = append(r.Weights, d.f64())
 			}
 		}
 	case RecComplete:

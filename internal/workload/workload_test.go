@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable time source for deterministic decay.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newFake(ncols int, halfLife time.Duration) (*Tracker, *fakeClock) {
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	return New(ncols, halfLife).withClock(c.now), c
+}
+
+func TestRecordAndWeights(t *testing.T) {
+	tr, _ := newFake(4, time.Minute)
+	tr.Record([]int{0, 2})
+	tr.Record([]int{2})
+	w := tr.Weights()
+	want := []float64{1, 0, 2, 0}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Errorf("weights[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	if got := tr.Total(); got != 3 {
+		t.Errorf("Total = %v, want 3", got)
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	tr, _ := newFake(2, time.Minute)
+	tr.Record([]int{-1, 5, 1})
+	if w := tr.Weights(); w[0] != 0 || w[1] != 1 {
+		t.Errorf("weights = %v", w)
+	}
+}
+
+func TestExponentialDecay(t *testing.T) {
+	tr, clk := newFake(2, time.Minute)
+	tr.Record([]int{0})
+	clk.advance(time.Minute) // exactly one half-life
+	if w := tr.Weights(); math.Abs(w[0]-0.5) > 1e-12 {
+		t.Errorf("after one half-life weight = %v, want 0.5", w[0])
+	}
+	clk.advance(2 * time.Minute) // two more
+	if w := tr.Weights(); math.Abs(w[0]-0.125) > 1e-12 {
+		t.Errorf("after three half-lives weight = %v, want 0.125", w[0])
+	}
+}
+
+// TestDecayThenRecord checks new accesses land after decay, not before: the
+// fresh access must carry full weight.
+func TestDecayThenRecord(t *testing.T) {
+	tr, clk := newFake(1, time.Minute)
+	tr.Record([]int{0})
+	clk.advance(time.Minute)
+	tr.Record([]int{0})
+	if w := tr.Weights(); math.Abs(w[0]-1.5) > 1e-12 {
+		t.Errorf("weight = %v, want 1.5", w[0])
+	}
+}
+
+func TestSeed(t *testing.T) {
+	tr, _ := newFake(3, time.Minute)
+	tr.Record([]int{0})
+	tr.Seed([]float64{4, 5, 6})
+	if w := tr.Weights(); w[0] != 4 || w[1] != 5 || w[2] != 6 {
+		t.Errorf("weights after seed = %v", w)
+	}
+	// Wrong width is ignored.
+	tr.Seed([]float64{1})
+	if w := tr.Weights(); w[0] != 4 {
+		t.Errorf("wrong-width seed applied: %v", w)
+	}
+}
+
+func TestDefaultHalfLife(t *testing.T) {
+	tr := New(1, 0)
+	if tr.halfLife != DefaultHalfLife {
+		t.Errorf("halfLife = %v, want %v", tr.halfLife, DefaultHalfLife)
+	}
+}
+
+// TestConcurrentAccess exercises the tracker under the race detector.
+func TestConcurrentAccess(t *testing.T) {
+	tr := New(8, time.Minute)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Record([]int{i, (i + 1) % 8})
+				_ = tr.Weights()
+				_ = tr.Total()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tr.Total() <= 0 {
+		t.Error("expected positive total after concurrent records")
+	}
+}

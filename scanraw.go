@@ -58,6 +58,20 @@ const (
 	Invisible      = intscan.Invisible
 )
 
+// SpecOrder selects which chunks (and column groups) speculative loading
+// writes first.
+type SpecOrder = intscan.SpecPolicy
+
+// The speculation orders. SpecScan is the paper's original file-order
+// policy; SpecPayoff ranks candidates by workload access frequency ×
+// unloaded width × chunk selectivity and needs ColumnWeights wired in
+// (the server does this; an embedded DB without a workload source falls
+// back to scan order).
+const (
+	SpecScan   = intscan.SpecScan
+	SpecPayoff = intscan.SpecPayoff
+)
+
 // Format identifies the raw-file format of a staged table.
 type Format uint8
 
@@ -103,6 +117,14 @@ type Options struct {
 	// NoFusedKernels disables the fused per-schema conversion kernels and
 	// forces the classic two-stage tokenize→parse path for every chunk.
 	NoFusedKernels bool
+	// ColGroupWidth sets how many adjacent columns share one database page.
+	// 0 keeps the default of 1 (per-column pages, maximum partial-width
+	// reuse); negative selects full-chunk-width pages (one page per chunk).
+	ColGroupWidth int
+	// Speculation orders speculative writes: SpecScan (default, file order)
+	// or SpecPayoff (workload-ranked; effective once ColumnWeights has a
+	// source, which the embedded facade does not wire — servers do).
+	Speculation SpecOrder
 }
 
 // Result is a materialized query result.
@@ -136,6 +158,12 @@ func Open(opts Options) *DB {
 	}
 	disk := vdisk.New(cfg)
 	store := dbstore.NewStore(disk)
+	switch {
+	case opts.ColGroupWidth > 0:
+		store.SetGroupWidth(opts.ColGroupWidth)
+	case opts.ColGroupWidth < 0:
+		store.SetGroupWidth(0) // full chunk width: one page per chunk
+	}
 	return &DB{
 		opts:     opts,
 		disk:     disk,
@@ -234,6 +262,7 @@ func (db *DB) operatorConfig(table string) intscan.Config {
 		CollectStats:    !db.opts.NoStats,
 		AdaptiveWorkers: db.opts.AdaptiveWorkers,
 		ConsumeWorkers:  db.opts.ConsumeWorkers,
+		Speculation:     db.opts.Speculation,
 	}
 	if db.opts.NoFusedKernels {
 		cfg.FusedKernels = intscan.FusedOff

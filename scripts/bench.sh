@@ -1,14 +1,18 @@
 #!/bin/sh
 # Runs the benchmark suite over the hot packages and records the results as
-# JSON in BENCH_pr7.json (override with BENCH_OUT): one object per
+# JSON in BENCH_pr8.json (override with BENCH_OUT): one object per
 # benchmark with ns/op plus the derived headline ratios —
 # serial-vs-parallel consume speedup, the full-scan-vs-early-termination
 # speedup for a streamed LIMIT query, the distributed-vs-single-node
 # latency ratio for a scatter-gathered GROUP BY
 # (distributed_merge_overhead; < 1 means the parallel fleet scan outruns
-# the codec + HTTP + merge cost), and the fused-vs-two-stage conversion
+# the codec + HTTP + merge cost), the fused-vs-two-stage conversion
 # speedup (convert_kernel_speedup: BenchmarkTokParseChunk64 over
-# BenchmarkFusedChunk64 on the same 64-column chunk).
+# BenchmarkFusedChunk64 on the same 64-column chunk), and the
+# column-group storage payoff (partial_width_hit_speedup: a
+# 2-of-32-column query over a warm table on a throttled disk,
+# full-width pages over per-column pages — how much narrow queries gain
+# from reading only the columns they need).
 #
 # Each benchmark runs -count times and the best run is recorded: the
 # minimum is the least contaminated by scheduler noise on a shared
@@ -28,13 +32,13 @@ case "${GOFLAGS:-}" in
     exit 1
     ;;
 esac
-OUT=${BENCH_OUT:-BENCH_pr7.json}
+OUT=${BENCH_OUT:-BENCH_pr8.json}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 $GO test -run xxx -bench . -benchmem -benchtime 20x -count "$COUNT" \
     ./internal/tok/ ./internal/parse/ ./internal/kernel/ ./internal/engine/ | tee "$TMP"
-$GO test -run xxx -bench 'BenchmarkConsume|BenchmarkLimit' -benchtime 10x -count "$COUNT" \
+$GO test -run xxx -bench 'BenchmarkConsume|BenchmarkLimit|BenchmarkNarrowQuery' -benchtime 10x -count "$COUNT" \
     ./internal/scanraw/ | tee -a "$TMP"
 $GO test -run xxx -bench 'BenchmarkSingleNodeQuery|BenchmarkDistributedQuery' -benchtime 10x -count "$COUNT" \
     ./internal/cluster/ | tee -a "$TMP"
@@ -71,6 +75,8 @@ END {
         if (name ~ /^BenchmarkDistributedQuery/) dist = best[name]
         if (name ~ /^BenchmarkFusedChunk64/) fused = best[name]
         if (name ~ /^BenchmarkTokParseChunk64/) tokparse = best[name]
+        if (name ~ /^BenchmarkNarrowQueryColGroup/) narrowcg = best[name]
+        if (name ~ /^BenchmarkNarrowQueryFullWidth/) narrowfw = best[name]
     }
     print "  ],"
     if (serial > 0 && par > 0)
@@ -81,6 +87,8 @@ END {
         printf "  \"distributed_merge_overhead\": %.2f,\n", dist / single
     if (fused > 0 && tokparse > 0)
         printf "  \"convert_kernel_speedup\": %.2f,\n", tokparse / fused
+    if (narrowcg > 0 && narrowfw > 0)
+        printf "  \"partial_width_hit_speedup\": %.2f,\n", narrowfw / narrowcg
     printf "  \"date\": \"%s\"\n", strftime("%Y-%m-%d")
     print "}"
 }' "$TMP" > "$OUT"

@@ -2,13 +2,15 @@
 # Compares the two most recent BENCH_*.json files (by name, which sorts by
 # PR number) and fails when a named hot-path benchmark regressed by more
 # than 20% in ns/op. Benchmarks present in only one file are skipped —
-# each PR may add new ones. Additionally enforces an absolute floor on the
-# newest file's convert_kernel_speedup headline: fused conversion must
-# stay at least KERNEL_FLOOR times faster than the two-stage path (skipped
-# when the file predates the metric).
+# each PR may add new ones. Additionally enforces absolute floors on the
+# newest file's headline ratios: fused conversion must stay at least
+# KERNEL_FLOOR times faster than the two-stage path, and a narrow query
+# over a warm column-group table must beat the full-width layout by at
+# least PARTIAL_FLOOR (each skipped when the file predates its metric).
 set -e
 THRESHOLD=${THRESHOLD:-1.20}
 KERNEL_FLOOR=${KERNEL_FLOOR:-1.5}
+PARTIAL_FLOOR=${PARTIAL_FLOOR:-1.5}
 HOT='BenchmarkConsumeSerial|BenchmarkConsumeParallel8|BenchmarkLimitFullScan|BenchmarkLimitEarlyTerm|BenchmarkTokenizeChunk64|BenchmarkParseChunk64|BenchmarkFusedChunk64|BenchmarkScalarSum|BenchmarkGroupBy'
 
 files=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2)
@@ -53,20 +55,24 @@ BEGIN {
     exit fail
 }'
 
-# Floor check on the newest file's fused-kernel headline ratio.
-awk -v floor="$KERNEL_FLOOR" '
-/"convert_kernel_speedup"/ {
-    match($0, /[0-9.]+/)
-    speedup = substr($0, RSTART, RLENGTH) + 0
-    found = 1
-}
-END {
-    if (!found) {
-        print "convert_kernel_speedup absent; floor check skipped"
-        exit 0
+# Floor checks on the newest file's headline ratios.
+check_floor() { # metric floor
+    awk -v metric="$1" -v floor="$2" '
+    $0 ~ "\"" metric "\"" {
+        match($0, /: [0-9.]+/) # skip the quoted key, match the value
+        speedup = substr($0, RSTART + 2, RLENGTH - 2) + 0
+        found = 1
     }
-    verdict = "ok"
-    if (speedup < floor) { verdict = "BELOW FLOOR"; fail = 1 }
-    printf "convert_kernel_speedup %.2fx (floor %.1fx) %s\n", speedup, floor, verdict
-    exit fail
-}' "$new"
+    END {
+        if (!found) {
+            printf "%s absent; floor check skipped\n", metric
+            exit 0
+        }
+        verdict = "ok"
+        if (speedup < floor) { verdict = "BELOW FLOOR"; fail = 1 }
+        printf "%s %.2fx (floor %.1fx) %s\n", metric, speedup, floor, verdict
+        exit fail
+    }' "$new"
+}
+check_floor convert_kernel_speedup "$KERNEL_FLOOR"
+check_floor partial_width_hit_speedup "$PARTIAL_FLOOR"
