@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint invariants fuzz bench bench-compare
+.PHONY: check fmt vet build test race lint lint-fixtures invariants fuzz bench bench-compare
 
-check: fmt vet build test race lint invariants fuzz
+check: fmt vet build test race lint lint-fixtures invariants fuzz
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -24,16 +24,26 @@ test:
 
 # The concurrency-heavy packages additionally run under the race
 # detector: the operator pipeline/registry, the query server, the engine
-# (parallel partial executors + differential test), and the cluster layer
-# (coordinator fan-out + distributed differential test).
+# (parallel partial executors + differential test), the cluster layer
+# (coordinator fan-out + distributed differential test), and the storage
+# layer (checkpoint-vs-append exclusion and recovery paths in store and
+# dbstore are lock-heavy and were previously only race-tested transitively).
 race:
-	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/... ./internal/kernel/... ./internal/workload/...
+	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/... ./internal/kernel/... ./internal/workload/... ./internal/store/... ./internal/dbstore/...
 
 # Project-specific static analysis (pin balance, pool pairing, goroutine
-# exits, context threading, channel ops under locks). Stdlib-only; see
-# cmd/scanrawlint and DESIGN.md §9.
+# exits, context threading, channel ops under locks, journal ordering,
+# fsync-before-ack, decode bounds guards, CRC error flow, lock-order
+# cycles) plus the unused-suppression pass. Stdlib-only; see
+# cmd/scanrawlint and DESIGN.md §9/§14.
 lint:
 	$(GO) run ./cmd/scanrawlint ./...
+
+# Fixture-coverage gate: every analyzer must prove it fires (a // want
+# fixture) and that its suppression escape hatch works (a reasoned
+# //lint:ignore fixture). See scripts/lint_fixtures.sh.
+lint-fixtures:
+	@./scripts/lint_fixtures.sh
 
 # Runtime invariant layer: pin-count underflow and double-recycle panics
 # plus the pool gauges only exist under -tags invariants. The race-gated

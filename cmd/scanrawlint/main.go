@@ -1,12 +1,17 @@
 // Command scanrawlint runs scanraw's project-specific static analyzers —
-// the concurrency and resource-lifecycle invariants go vet and the race
-// detector cannot check:
+// the concurrency, resource-lifecycle, and durability invariants go vet and
+// the race detector cannot check:
 //
-//	pinbalance  cache pins matched by Unpin on all paths
-//	poolpair    pooled vectors/positional maps reach a recycle call
-//	goexit      go func literals can observe shutdown or are finite
-//	ctxflow     exported ctx-taking functions thread their context
-//	locksend    no channel ops while holding a mutex
+//	pinbalance    cache pins matched by Unpin on all paths
+//	poolpair      pooled vectors/positional maps reach a recycle call
+//	goexit        go func literals can observe shutdown or are finite
+//	ctxflow       exported ctx-taking functions thread their context
+//	locksend      no channel ops while holding a mutex
+//	journalorder  loaded-record journal appends dominated by the blob write
+//	syncack       no nil-error ack after a write without an fsync between
+//	decodeguard   wire-decoded counts bounds-checked before make()
+//	crcflow       CRC-verifying decode errors never discarded or shadowed
+//	lockorder     lock-acquisition graph acyclic; no chan ops under 2 locks
 //
 // Usage:
 //
@@ -17,6 +22,9 @@
 // any finding survives. Suppress a false positive inline, with a reason:
 //
 //	//lint:ignore pinbalance pin is transferred to the write queue
+//
+// A directive that suppresses nothing is itself reported (the
+// unused-suppression pass), so stale ignores cannot rot in place.
 package main
 
 import (

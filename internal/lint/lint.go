@@ -87,7 +87,14 @@ type Analyzer struct {
 	// Dirs restricts the analyzer to packages whose root-relative path has
 	// one of these suffixes; empty applies everywhere.
 	Dirs []string
-	Run  func(f *File) []Diagnostic
+	// Run is the per-file pass. Analyzers whose invariant is local to one
+	// file use this.
+	Run func(f *File) []Diagnostic
+	// RunProject, when set, runs once over every matching file of the whole
+	// run — the hook for invariants that span files and packages (the lock
+	// acquisition graph, the blob-write-before-journal-append ordering).
+	// An analyzer sets Run or RunProject, not both.
+	RunProject func(files []*File) []Diagnostic
 }
 
 func (a *Analyzer) applies(pkg string) bool {
@@ -110,6 +117,11 @@ func Analyzers() []*Analyzer {
 		GoExit,
 		CtxFlow,
 		LockSend,
+		JournalOrder,
+		SyncAck,
+		DecodeGuard,
+		CRCFlow,
+		LockOrder,
 	}
 }
 
@@ -124,8 +136,10 @@ type Config struct {
 }
 
 // Run expands the package patterns ("./..." or directory paths), parses and
-// type-checks each package, applies the analyzers, filters suppressed
-// findings, and returns the surviving diagnostics sorted by position.
+// type-checks each package, applies the per-file analyzers, runs the
+// project-scoped analyzers over the combined file set, filters suppressed
+// findings, reports suppressions that suppressed nothing, and returns the
+// surviving diagnostics sorted by position.
 func Run(cfg Config, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if cfg.Root == "" {
 		cfg.Root = "."
@@ -135,14 +149,53 @@ func Run(cfg Config, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 		return nil, err
 	}
 	var diags []Diagnostic
+	var all []*File
+	igByFile := map[string]*ignores{}
 	fset := token.NewFileSet()
 	for _, dir := range dirs {
-		ds, err := runDir(fset, cfg, dir, analyzers)
+		files, ds, err := loadDir(fset, cfg, dir)
 		if err != nil {
 			return nil, err
 		}
 		diags = append(diags, ds...)
+		for _, lf := range files {
+			ig := &ignores{}
+			igDiags := collectIgnores(fset, lf.File, ig)
+			diags = append(diags, igDiags...)
+			igByFile[lf.Path] = ig
+			for _, a := range analyzers {
+				if a.Run == nil || !a.applies(lf.Pkg) {
+					continue
+				}
+				for _, d := range a.Run(lf) {
+					if !ig.suppresses(d) {
+						diags = append(diags, d)
+					}
+				}
+			}
+		}
+		all = append(all, files...)
 	}
+	for _, a := range analyzers {
+		if a.RunProject == nil {
+			continue
+		}
+		var sel []*File
+		for _, lf := range all {
+			if a.applies(lf.Pkg) {
+				sel = append(sel, lf)
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		for _, d := range a.RunProject(sel) {
+			if ig := igByFile[d.Pos.Filename]; ig == nil || !ig.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	diags = append(diags, unusedSuppressions(igByFile, analyzers)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -154,6 +207,32 @@ func Run(cfg Config, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
 	return diags, nil
+}
+
+// unusedSuppressions reports every //lint:ignore directive that suppressed no
+// finding during this run, so suppressions cannot rot in place as the code
+// they once excused moves or gets fixed. Only directives naming an analyzer
+// that actually ran are considered: a partial run (-only, per-fixture tests)
+// must not condemn a directive whose analyzer it never exercised.
+func unusedSuppressions(igByFile map[string]*ignores, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, ig := range igByFile {
+		for _, e := range ig.entries {
+			if e.used || !ran[e.name] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      e.pos,
+				Analyzer: "lint",
+				Message:  fmt.Sprintf("unused //lint:ignore %s: no finding here to suppress — delete the directive or move it with the code it excuses", e.name),
+			})
+		}
+	}
+	return diags
 }
 
 // expandPatterns resolves the CLI package patterns into package directories.
@@ -222,11 +301,13 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
-// runDir parses, type-checks and analyzes one package directory.
-func runDir(fset *token.FileSet, cfg Config, dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+// loadDir parses and type-checks one package directory, returning its files
+// ready for analysis. Parse-level diagnostics (none today) ride along so the
+// caller keeps a single diagnostics stream.
+func loadDir(fset *token.FileSet, cfg Config, dir string) ([]*File, []Diagnostic, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var files []*ast.File
 	var paths []string
@@ -241,13 +322,13 @@ func runDir(fset *token.FileSet, cfg Config, dir string, analyzers []*Analyzer) 
 		path := filepath.Join(dir, name)
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+			return nil, nil, fmt.Errorf("lint: %w", err)
 		}
 		files = append(files, f)
 		paths = append(paths, path)
 	}
 	if len(files) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	info := typeCheck(fset, dir, files)
 	pkg, err := filepath.Rel(cfg.Root, dir)
@@ -256,23 +337,11 @@ func runDir(fset *token.FileSet, cfg Config, dir string, analyzers []*Analyzer) 
 	}
 	pkg = filepath.ToSlash(pkg)
 
-	var diags []Diagnostic
+	out := make([]*File, len(files))
 	for i, af := range files {
-		lf := &File{Fset: fset, File: af, Path: paths[i], Pkg: pkg, Info: info}
-		ig, igDiags := collectIgnores(fset, af)
-		diags = append(diags, igDiags...)
-		for _, a := range analyzers {
-			if !a.applies(pkg) {
-				continue
-			}
-			for _, d := range a.Run(lf) {
-				if !ig.suppresses(d) {
-					diags = append(diags, d)
-				}
-			}
-		}
+		out[i] = &File{Fset: fset, File: af, Path: paths[i], Pkg: pkg, Info: info}
 	}
-	return diags, nil
+	return out, nil, nil
 }
 
 // typeCheck runs go/types over the package with a stub importer, collecting
@@ -318,13 +387,26 @@ func (s stubImporter) Import(path string) (*types.Package, error) {
 // separated; the reason is everything after it.
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+([A-Za-z0-9_,]+)(?:\s+(.*))?$`)
 
-// ignores maps source lines to the analyzer names suppressed there.
-type ignores map[int][]string
+// ignoreEntry is one analyzer name from one directive; used flips when the
+// entry suppresses a finding, and entries that never flip are reported by the
+// unused-suppression pass.
+type ignoreEntry struct {
+	pos  token.Position
+	name string
+	used bool
+}
 
-func (ig ignores) suppresses(d Diagnostic) bool {
+// ignores indexes a file's suppression directives by source line.
+type ignores struct {
+	entries []*ignoreEntry
+	byLine  map[int][]*ignoreEntry
+}
+
+func (ig *ignores) suppresses(d Diagnostic) bool {
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, name := range ig[line] {
-			if name == d.Analyzer {
+		for _, e := range ig.byLine[line] {
+			if e.name == d.Analyzer {
+				e.used = true
 				return true
 			}
 		}
@@ -332,10 +414,11 @@ func (ig ignores) suppresses(d Diagnostic) bool {
 	return false
 }
 
-// collectIgnores gathers //lint:ignore directives, reporting malformed ones
-// (missing reason) as diagnostics so suppressions stay justified.
-func collectIgnores(fset *token.FileSet, f *ast.File) (ignores, []Diagnostic) {
-	ig := ignores{}
+// collectIgnores gathers //lint:ignore directives into ig, reporting
+// malformed ones (missing reason) as diagnostics so suppressions stay
+// justified.
+func collectIgnores(fset *token.FileSet, f *ast.File, ig *ignores) []Diagnostic {
+	ig.byLine = map[int][]*ignoreEntry{}
 	var diags []Diagnostic
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -353,9 +436,11 @@ func collectIgnores(fset *token.FileSet, f *ast.File) (ignores, []Diagnostic) {
 				continue
 			}
 			for _, name := range strings.Split(m[1], ",") {
-				ig[pos.Line] = append(ig[pos.Line], name)
+				e := &ignoreEntry{pos: pos, name: name}
+				ig.entries = append(ig.entries, e)
+				ig.byLine[pos.Line] = append(ig.byLine[pos.Line], e)
 			}
 		}
 	}
-	return ig, diags
+	return diags
 }

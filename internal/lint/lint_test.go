@@ -25,7 +25,10 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	for _, a := range Analyzers() {
 		byName[a.Name] = a
 	}
-	for _, name := range []string{"pinbalance", "poolpair", "goexit", "ctxflow", "locksend"} {
+	for _, name := range []string{
+		"pinbalance", "poolpair", "goexit", "ctxflow", "locksend",
+		"journalorder", "syncack", "decodeguard", "crcflow", "lockorder",
+	} {
 		a := byName[name]
 		if a == nil {
 			t.Fatalf("analyzer %q not registered", name)
@@ -94,6 +97,65 @@ func collectWants(t *testing.T, root string) map[wantKey]int {
 		t.Fatalf("collecting wants: %v", err)
 	}
 	return wants
+}
+
+// TestTreeClean pins the property `make lint` only observes through its exit
+// code: every analyzer — alone and all together — runs over the full real
+// tree with zero findings. A regression in the tree or an analyzer that
+// starts over-reporting both fail here, named.
+func TestTreeClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("resolving repo root: %v", err)
+	}
+	run := func(t *testing.T, as []*Analyzer) {
+		t.Helper()
+		diags, err := Run(Config{Root: root}, []string{"./..."}, as)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for _, d := range diags {
+			t.Errorf("tree not clean: %s", d)
+		}
+	}
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) { run(t, []*Analyzer{a}) })
+	}
+	t.Run("all", func(t *testing.T) { run(t, Analyzers()) })
+}
+
+// TestUnusedSuppressionReported pins the unused-suppression pass: a
+// directive with a reason that suppresses nothing is reported, but only when
+// the analyzer it names actually ran — a partial run must not condemn
+// directives it never exercised.
+func TestUnusedSuppressionReported(t *testing.T) {
+	root := filepath.Join("testdata", "src", "decodeguard")
+	diags, err := Run(Config{Root: root}, []string{"./..."}, []*Analyzer{DecodeGuard})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var unused int
+	for _, d := range diags {
+		if d.Analyzer == "lint" && strings.Contains(d.Message, "unused //lint:ignore") {
+			unused++
+		}
+	}
+	if unused != 1 {
+		t.Errorf("want exactly 1 unused-suppression finding with decodeguard running, got %d", unused)
+	}
+
+	// The same tree under an analyzer that is not named by the directive:
+	// the unused decodeguard directive must not be reported.
+	diags, err = Run(Config{Root: root}, []string{"./..."}, []*Analyzer{LockSend})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "lint" && strings.Contains(d.Message, "unused //lint:ignore") {
+			t.Errorf("unused-suppression reported by a run that never exercised its analyzer: %s", d)
+		}
+	}
 }
 
 // TestSuppressionNeedsReason pins the driver behavior the bareDirective

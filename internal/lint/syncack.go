@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SyncAck enforces the fsync-before-ack rule of the durable layer (DESIGN
+// §10): a function in internal/store that writes bytes and then returns a
+// nil error has acknowledged durability, so a sync must sit between the last
+// write and that `return nil`. It also guards the temp+fsync+rename
+// discipline itself: `os.WriteFile` and `os.Create` drop files into managed
+// directories without the atomic-replace dance, so any use of them in the
+// storage package is a finding (os.CreateTemp + rename via writeFile is the
+// blessed path).
+//
+// The pass is positional and per-function: for each `return ..., nil` it
+// finds the latest write-class call before the return and requires a
+// sync-class call between the two. Functions whose last result is not an
+// error are exempt — they cannot ack anything. The check is deliberately
+// path-insensitive: a write on any branch before an unconditional nil return
+// still demands a sync, which is the conservative direction for durability.
+var SyncAck = &Analyzer{
+	Name: "syncack",
+	Doc:  "no nil-error return after a write without an fsync between; no os.WriteFile/os.Create in managed dirs",
+	Dirs: []string{"internal/store"},
+	Run:  runSyncAck,
+}
+
+// writeCalls mutate file bytes or directory entries; each demands a sync
+// before the function acks with a nil error.
+var writeCalls = map[string]bool{
+	"Write":       true,
+	"WriteAt":     true,
+	"WriteString": true,
+	"Truncate":    true,
+	"Rename":      true,
+}
+
+// syncCalls make preceding writes durable. writeFile and WriteBlob are the
+// package's own temp+fsync+rename writers and count as synced in one step.
+var syncCalls = map[string]bool{
+	"Sync":      true,
+	"syncDir":   true,
+	"writeFile": true,
+	"WriteBlob": true,
+}
+
+// bypassCalls write into directories without the temp+fsync+rename dance.
+var bypassCalls = map[string]bool{
+	"WriteFile": true,
+	"Create":    true,
+}
+
+func runSyncAck(f *File) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range funcUnits(f) {
+		diags = append(diags, syncAckUnit(f, u)...)
+	}
+	return diags
+}
+
+func syncAckUnit(f *File, u unit) []Diagnostic {
+	var diags []Diagnostic
+
+	var writes, syncs []token.Pos
+	inspectNoFuncLit(u.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name := callee(call)
+		if recv == "os" && bypassCalls[name] {
+			diags = append(diags, f.diag("syncack", call,
+				"os.%s bypasses temp+fsync+rename — write through writeFile/os.CreateTemp so a crash never leaves a torn file", name))
+			return true
+		}
+		// writeFile(...) also renames, but it syncs internally; classify it
+		// (and any sync-class call) before the write classes.
+		switch {
+		case syncCalls[name]:
+			syncs = append(syncs, call.End())
+		case writeCalls[name] && recv != "":
+			writes = append(writes, call.End())
+		}
+		return true
+	})
+	if len(writes) == 0 {
+		return diags
+	}
+	if !returnsError(u) {
+		return diags
+	}
+
+	inspectNoFuncLit(u.body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		last, ok := ret.Results[len(ret.Results)-1].(*ast.Ident)
+		if !ok || last.Name != "nil" {
+			return true
+		}
+		// Latest write preceding this return; nothing to prove if none.
+		var lastWrite token.Pos
+		for _, w := range writes {
+			if w < ret.Pos() && w > lastWrite {
+				lastWrite = w
+			}
+		}
+		if lastWrite == token.NoPos {
+			return true
+		}
+		for _, s := range syncs {
+			if s > lastWrite && s < ret.Pos() {
+				return true
+			}
+		}
+		diags = append(diags, f.diag("syncack", ret,
+			"nil error returned after a write with no Sync/syncDir between — the ack races the page cache (fsync-before-ack, DESIGN §10)"))
+		return true
+	})
+	return diags
+}
+
+// returnsError reports whether the unit's final result is the error type.
+func returnsError(u unit) bool {
+	var ft *ast.FuncType
+	switch v := u.node.(type) {
+	case *ast.FuncDecl:
+		ft = v.Type
+	case *ast.FuncLit:
+		ft = v.Type
+	}
+	if ft == nil || ft.Results == nil || len(ft.Results.List) == 0 {
+		return false
+	}
+	lastField := ft.Results.List[len(ft.Results.List)-1]
+	id, ok := lastField.Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}

@@ -1,0 +1,58 @@
+package fixture
+
+// Mirrors the checksum boundaries: openPage/DecodeRecord-class errors are
+// the CRC verdict and must be read, not dropped or shadowed.
+
+// Bad: the page result is dropped wholesale — CRC verdict and all.
+func badDiscard(p []byte) {
+	openPage(p) // want
+}
+
+// Bad: the error is blanked.
+func badBlankErr(p []byte) []byte {
+	payload, _ := openPage(p) // want
+	return payload
+}
+
+// Bad: captured, then shadowed before anyone reads it.
+func badShadowed(p, q []byte) error {
+	_, err := openPage(p) // want
+	_, err = openPage(q)
+	return err
+}
+
+// Bad: a defer discarding the verdict is still a discard.
+func badDeferredDiscard(p []byte) {
+	defer openPage(p) // want
+}
+
+// Good: the error is checked on the spot.
+func goodChecked(p []byte) ([]byte, error) {
+	payload, err := openPage(p)
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Good: err == nil as a boolean verdict is a read (the pageOK shape).
+func goodBoolVerdict(p []byte) bool {
+	_, err := openPage(p)
+	return err == nil
+}
+
+// Good: wrapping the error forwards the verdict.
+func goodWrapped(p []byte) error {
+	rec, err := DecodeRecord(p)
+	if err != nil {
+		return wrapErr(err)
+	}
+	apply(rec)
+	return nil
+}
+
+// Good: a justified suppression.
+func suppressedProbe(p []byte) {
+	//lint:ignore crcflow fixture mirrors a best-effort probe: corruption is re-verified on the serving read path
+	openPage(p)
+}

@@ -29,6 +29,15 @@ func Threaded(ctx context.Context, id int) error {
 	return FetchContext(ctx, id)
 }
 
+// Good: a justified suppression on the bypass finding.
+func SuppressedBypass(ctx context.Context, id int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	//lint:ignore ctxflow fixture demonstrates the suppression escape hatch: the plain variant is non-blocking here
+	return Fetch(id)
+}
+
 func Fetch(id int) error { return nil }
 
 // Good: the Context variant may call the plain implementation itself.

@@ -1,0 +1,54 @@
+package fixture
+
+// Mirrors the wire codecs: raw varint/fixed-width decodes are hostile until
+// bounded; count() is the blessed bound-and-fail helper.
+
+// Bad: the decoded count reaches make unchecked — the 67TB class.
+func badUnboundedMake(d *decoder) []int {
+	n := d.uvar()
+	return make([]int, n) // want
+}
+
+// Bad: conversion layers do not launder taint.
+func badConvertedMake(hdr []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	return make([]byte, 0, n) // want
+}
+
+// Good: a bounds check between decode and allocation clears the taint.
+func goodGuardedMake(d *decoder) ([]int, error) {
+	n := d.uvar()
+	if n > maxCols {
+		return nil, errTooBig
+	}
+	return make([]int, n), nil
+}
+
+// Good: min clamps at the use site.
+func goodClampedMake(d *decoder) []int {
+	n := d.uvar()
+	return make([]int, 0, min(int(n), 64))
+}
+
+// Good: the count() helper bounds and fails in one step.
+func goodCountHelper(d *decoder) []int {
+	n := d.count(maxCols, "columns")
+	return make([]int, n)
+}
+
+// Good: reassignment from a trusted source clears the taint.
+func goodReassigned(d *decoder, buf []byte) []byte {
+	n := d.uvar()
+	n = uint64(len(buf))
+	return make([]byte, n)
+}
+
+// Good: a justified suppression for a count bounded by construction.
+func suppressedTrustedCount(d *decoder) []int {
+	n := d.uvar()
+	//lint:ignore decodeguard fixture mirrors a loopback path: the producer is in-process and bounds n at encode time
+	return make([]int, n)
+}
+
+//lint:ignore decodeguard this directive excuses nothing, so the driver reports it as unused // want
+func unusedDirective() {}

@@ -48,3 +48,13 @@ func goodWait(wg *WaitGroup, done chan struct{}) {
 		close(done)
 	}()
 }
+
+// Good: a justified suppression on the spin finding.
+func suppressedSpin(work func()) {
+	go func() {
+		//lint:ignore goexit fixture demonstrates the suppression escape hatch: the worker is process-lifetime by design
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,82 @@
+package fixture
+
+// Mirrors the dbstore journaling surface: a loaded-record appender, the
+// journalLock opener, the blessed journalAppend forwarder, and blob writes.
+
+type Table struct {
+	ckpt    *RWMutex
+	ckptMu  RWMutex
+	journal Journal
+	name    string
+}
+
+// journalLock enters the mutate+append critical section (opener idiom).
+func (t *Table) journalLock() func() {
+	t.ckpt.RLock()
+	return t.ckpt.RUnlock
+}
+
+// journalAppend is the blessed forwarder; callers hold the lock around it.
+func (t *Table) journalAppend(recs ...Record) error {
+	return t.journal.Append(recs...)
+}
+
+// markLoaded is a loaded-record appender: every call site owes a preceding
+// blob write.
+func (t *Table) markLoaded(id int, cols []int) error {
+	defer t.journalLock()()
+	var recs []Record
+	recs = append(recs, store.Record{
+		Type: store.RecLoadedGroup, Table: t.name, Chunk: id, Cols: cols,
+	})
+	return t.journalAppend(recs...)
+}
+
+// Bad: journals the loaded claim with no preceding page write — a crash
+// would recover metadata for pages that never hit the disk.
+func (t *Table) badClaimWithoutWrite(id int) error {
+	return t.markLoaded(id, nil) // want
+}
+
+// Good: the page write dominates the claim.
+func (t *Table) goodWriteThenClaim(d Disk, id int, page []byte) error {
+	if err := d.WriteBlob(pageName(id), page); err != nil {
+		return err
+	}
+	return t.markLoaded(id, nil)
+}
+
+// writePage reaches WriteBlob through a helper; callers of it count as
+// having written.
+func (t *Table) writePage(d Disk, id int, page []byte) error {
+	return d.WriteBlob(pageName(id), page)
+}
+
+// Good: the blob write is transitive through writePage.
+func (t *Table) goodHelperWrite(d Disk, id int, page []byte) error {
+	if err := t.writePage(d, id, page); err != nil {
+		return err
+	}
+	return t.markLoaded(id, nil)
+}
+
+// Bad: appends outside the checkpoint-exclusion region — a snapshot could
+// interleave between the mutate and the append.
+func (t *Table) badUnlockedAppend() error {
+	return t.journalAppend(store.Record{Type: store.RecChunk, Table: t.name}) // want
+}
+
+// Good: an explicit ckpt read-lock taken before the append satisfies the
+// discipline too (the SetWorkload shape).
+func (t *Table) goodExplicitCkptLock(rec Record) error {
+	t.ckptMu.RLock()
+	defer t.ckptMu.RUnlock()
+	return t.journalAppend(rec)
+}
+
+// Good: a justified suppression — the recovery-replay shape, where pages
+// were proven durable by the original append.
+func (t *Table) replayLoaded(id int) {
+	//lint:ignore journalorder fixture mirrors recovery replay: the journal is nil during replay and pages are re-verified afterwards
+	_ = t.markLoaded(id, nil)
+}

@@ -1,0 +1,72 @@
+package fixture
+
+import "sync"
+
+type state struct {
+	mu    sync.Mutex
+	cond  sync.Mutex
+	inner sync.Mutex
+	ch    chan int
+}
+
+// acquireCond locks cond and hands the critical section to the caller — the
+// journalLock opener idiom.
+func (s *state) acquireCond() func() {
+	s.cond.Lock()
+	return s.cond.Unlock
+}
+
+// notify sends on the wake channel; no locks of its own, so locksend sees
+// nothing here.
+func (s *state) notify() {
+	s.ch <- 1
+}
+
+// condTouch takes cond briefly.
+func (s *state) condTouch() {
+	s.cond.Lock()
+	s.cond.Unlock()
+}
+
+// Bad half of a cycle: mu is acquired while the opener holds cond.
+func (s *state) lockCondThenMu() {
+	defer s.acquireCond()()
+	s.mu.Lock() // want
+	s.mu.Unlock()
+}
+
+// Bad other half: cond is (transitively) acquired while holding mu — the
+// reverse order, closing the cycle.
+func (s *state) lockMuThenCond() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.condTouch() // want
+}
+
+// Bad: two locks held around a call that — invisibly to locksend — sends.
+func (s *state) badNotifyUnderBoth() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cond.Lock()
+	defer s.cond.Unlock()
+	s.notify() // want
+}
+
+// Good: consistent ordering — inner is only ever taken under mu, nothing
+// takes mu under inner.
+func (s *state) goodNested() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Lock()
+	s.inner.Unlock()
+}
+
+// Good: a justified suppression on the channel-reachability finding.
+func (s *state) suppressedNotify() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cond.Lock()
+	defer s.cond.Unlock()
+	//lint:ignore lockorder fixture mirrors a buffered wake channel sized for every waiter, so the send cannot block
+	s.notify()
+}

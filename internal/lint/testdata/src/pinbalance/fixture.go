@@ -54,3 +54,17 @@ func goodTransfer(c *Cache, id int, out chan *BinaryChunk) bool {
 	out <- bc
 	return true
 }
+
+// Good: a justified suppression silences the drop finding.
+func suppressedDrop(c *Cache, id int) error {
+	bc := c.Acquire(id)
+	if bc == nil {
+		return errNotFound
+	}
+	if tooBig(id) {
+		//lint:ignore pinbalance fixture demonstrates the suppression escape hatch: the registry sweep unpins abandoned entries
+		return errSkipped
+	}
+	_ = c.Unpin(id)
+	return use(bc)
+}

@@ -1,0 +1,41 @@
+#!/bin/sh
+# lint_fixtures.sh — fixture-coverage gate for the analyzer suite.
+#
+# Every analyzer registered in cmd/scanrawlint must ship a fixture under
+# internal/lint/testdata/src/<name> exercising BOTH directions of the
+# contract: at least one finding (a `// want` marker) proving the analyzer
+# fires, and at least one reasoned `//lint:ignore <name>` directive proving
+# the suppression escape hatch works for it. An analyzer missing either is
+# unproven — the gate fails. Run from anywhere; wired into `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+names=$(go run ./cmd/scanrawlint -list | awk '{print $1}')
+if [ -z "$names" ]; then
+	echo "lint_fixtures: scanrawlint -list returned no analyzers" >&2
+	exit 1
+fi
+
+status=0
+for name in $names; do
+	dir="internal/lint/testdata/src/$name"
+	if [ ! -d "$dir" ]; then
+		echo "lint_fixtures: analyzer '$name' has no fixture dir $dir" >&2
+		status=1
+		continue
+	fi
+	if ! grep -rq '// want' "$dir"; then
+		echo "lint_fixtures: $dir lacks a finding fixture (no '// want' marker)" >&2
+		status=1
+	fi
+	if ! grep -rqE "//lint:ignore $name +[^ ]" "$dir"; then
+		echo "lint_fixtures: $dir lacks a suppressed-finding fixture (no reasoned '//lint:ignore $name')" >&2
+		status=1
+	fi
+done
+
+if [ "$status" -eq 0 ]; then
+	echo "lint_fixtures: every analyzer has finding + suppression fixtures"
+fi
+exit $status
