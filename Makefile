@@ -24,12 +24,14 @@ test:
 
 # The concurrency-heavy packages additionally run under the race
 # detector: the operator pipeline/registry, the query server, the engine
-# (parallel partial executors + differential test), the cluster layer
-# (coordinator fan-out + distributed differential test), and the storage
-# layer (checkpoint-vs-append exclusion and recovery paths in store and
-# dbstore are lock-heavy and were previously only race-tested transitively).
+# (parallel partial executors + differential test), the online-aggregation
+# runner (sample-order reorder buffer fed by concurrent consumers), the
+# cluster layer (coordinator fan-out + distributed differential test), and
+# the storage layer (checkpoint-vs-append exclusion and recovery paths in
+# store and dbstore are lock-heavy and were previously only race-tested
+# transitively).
 race:
-	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/... ./internal/kernel/... ./internal/workload/... ./internal/store/... ./internal/dbstore/...
+	$(GO) test -race ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/ola/... ./internal/cluster/... ./internal/kernel/... ./internal/workload/... ./internal/store/... ./internal/dbstore/...
 
 # Project-specific static analysis (pin balance, pool pairing, goroutine
 # exits, context threading, channel ops under locks, journal ordering,
@@ -51,7 +53,7 @@ lint-fixtures:
 # packages rerun without it.
 invariants:
 	$(GO) test -tags invariants ./internal/cache/... ./internal/chunk/... ./internal/tok/... ./internal/parse/... ./internal/kernel/...
-	$(GO) test -race -tags invariants ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/cluster/... ./internal/kernel/...
+	$(GO) test -race -tags invariants ./internal/scanraw/... ./internal/server/... ./internal/engine/... ./internal/ola/... ./internal/cluster/... ./internal/kernel/...
 
 # Short fuzz smoke over the decoders that parse untrusted bytes — the
 # manifest record/frame decoders (crash recovery reads whatever is on

@@ -26,10 +26,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
 	"scanraw/internal/dbstore"
+	"scanraw/internal/engine"
+	"scanraw/internal/ola"
 	"scanraw/internal/sam"
 	"scanraw/internal/scanraw"
 	"scanraw/internal/schema"
@@ -88,6 +91,9 @@ func main() {
 		fused     = flag.Bool("fused", true, "use fused per-schema conversion kernels (one-pass tokenize+parse)")
 		repl      = flag.Bool("repl", false, "read queries interactively from stdin")
 		timeout   = flag.Duration("timeout", 0, "per-query timeout; cancels the scan when exceeded (0 = none)")
+		olaErr    = flag.Float64("ola-error", -1, "online aggregation: stop when the relative confidence bound falls below this fraction (0 = sampled full scan, negative = off)")
+		olaConf   = flag.Float64("ola-confidence", 0.95, "online aggregation: confidence level for the error bounds")
+		olaSeed   = flag.Int64("ola-seed", 1, "online aggregation: chunk-permutation seed")
 	)
 	flag.Parse()
 	if *file == "" || (flag.NArg() == 0 && !*repl) {
@@ -155,6 +161,10 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
+		if *olaErr >= 0 {
+			return runOLA(ctx, reg.Operator(table, opCfg), sql,
+				ola.Config{Tolerance: *olaErr, Confidence: *olaConf}, *olaSeed)
+		}
 		res, st, err := reg.ExecuteSQLContext(ctx, table, opCfg, sql)
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -186,6 +196,60 @@ func main() {
 	if *repl {
 		runREPL(table, runOne)
 	}
+}
+
+// runOLA executes one query through the online-aggregation path: a
+// seeded sampled scan printing converging estimates as the bounds
+// shrink, then the final answer (exact if the scan ran to completion).
+func runOLA(ctx context.Context, op *scanraw.Operator, sql string, cfg ola.Config, seed int64) error {
+	q, err := engine.ParseSQL(sql, op.Table().Schema())
+	if err != nil {
+		return err
+	}
+	if err := ola.Eligible(q); err != nil {
+		return fmt.Errorf("online aggregation: %v", err)
+	}
+	fmt.Printf("> %s\n", sql)
+	lastRel := math.Inf(1)
+	res, runner, st, err := ola.Run(ctx, op, q, cfg, seed, func(s ola.Snapshot) {
+		if !(s.MaxRel < lastRel) {
+			return
+		}
+		lastRel = s.MaxRel
+		for _, g := range s.Groups {
+			fmt.Printf("  ~ %s  (±%s; %d/%d chunks, max rel err %.4f)\n",
+				fmtValues(g.Values), fmtBounds(g.Bounds), s.Chunks, s.Total, s.MaxRel)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	last := runner.LastSnapshot()
+	kind := "estimate"
+	if runner.Exact() {
+		kind = "exact (full scan)"
+	}
+	fmt.Printf("[%s; sampled %d/%d chunks; max rel err %.4f; %.1f ms; terminated early: %v]\n\n",
+		kind, last.Chunks, last.Total, last.MaxRel,
+		float64(st.Duration.Microseconds())/1000, st.TerminatedEarly)
+	return nil
+}
+
+func fmtValues(vals []engine.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func fmtBounds(bounds []float64) string {
+	parts := make([]string, len(bounds))
+	for i, b := range bounds {
+		parts[i] = fmt.Sprintf("%.1f", b)
+	}
+	return strings.Join(parts, ", ")
 }
 
 // runREPL reads queries from stdin, one per line. Meta commands: \schema

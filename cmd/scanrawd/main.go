@@ -200,6 +200,8 @@ func main() {
 		colGroups  = flag.Int("colgroups", 1, "column-group width for database pages (1 = per-column, 0 = full chunk width)")
 		specPolicy = flag.String("spec-policy", "payoff", "speculative loading order: payoff (workload-ranked) or scan (file order)")
 		maxConc    = flag.Int("max-concurrent", 32, "admission slots: queries in flight before 429")
+		olaErr     = flag.Float64("ola-error", 0, "online aggregation default: run eligible aggregates as sampled scans stopping at this relative error (0 = only on explicit ?error=)")
+		olaConf    = flag.Float64("ola-confidence", 0.95, "online aggregation: default confidence level for error bounds")
 		coalesce   = flag.Duration("coalesce", 2*time.Millisecond, "coalescing window for shared scans (negative disables)")
 		timeout    = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
 
@@ -296,6 +298,8 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		CoalesceWindow: *coalesce,
 		DefaultTimeout: *timeout,
+		OLAError:       *olaErr,
+		OLAConfidence:  *olaConf,
 	})
 
 	for _, f := range files {

@@ -1,0 +1,44 @@
+package engine
+
+// AggSnapshot is the mergeable accumulator state of one aggregate cell:
+// exactly the fields COUNT/SUM/AVG ever read (count, integer sum, float
+// sum). MIN/MAX state is deliberately absent — extremes are not estimable
+// from a chunk sample, and the online-aggregation layer rejects them up
+// front.
+type AggSnapshot struct {
+	Count    int64
+	SumInt   int64
+	SumFloat float64
+}
+
+// GroupAgg is one group's accumulator snapshot: the encoded group key (the
+// same canonical key Merge and Result use), the key values, and one
+// AggSnapshot per select item (zero-valued for AggNone items).
+type GroupAgg struct {
+	Key  string
+	Keys []Value
+	Aggs []AggSnapshot
+}
+
+// GroupAggs snapshots the per-group aggregate state accumulated so far.
+// The returned slices are copies, so the snapshot stays valid after the
+// partial is merged away (Merge moves the group pointers out of the
+// source). Only aggregate queries carry group state; for row queries the
+// result is nil.
+func (p *Partial) GroupAggs() []GroupAgg {
+	if p.groups == nil {
+		return nil
+	}
+	out := make([]GroupAgg, 0, len(p.groups))
+	for k, g := range p.groups {
+		ga := GroupAgg{Key: k, Aggs: make([]AggSnapshot, len(g.aggs))}
+		if g.keys != nil {
+			ga.Keys = append([]Value(nil), g.keys...)
+		}
+		for i, st := range g.aggs {
+			ga.Aggs[i] = AggSnapshot{Count: st.count, SumInt: st.sumInt, SumFloat: st.sumFloat}
+		}
+		out = append(out, ga)
+	}
+	return out
+}

@@ -47,3 +47,40 @@ func FetchContext(ctx context.Context, id int) error {
 	}
 	return Fetch(id)
 }
+
+// Bad: the sampled-scan launcher takes the caller's context but starts
+// the scan under a fresh one — the estimator keeps drawing chunks after
+// the client disconnects.
+func SampledScanFresh(ctx context.Context, seed int64) error {
+	if err := check(ctx, 0); err != nil {
+		return err
+	}
+	bg := context.Background() // want
+	return ScanContext(bg, seed)
+}
+
+// Bad: drives the sampled scan through the plain variant although the
+// cancellable ScanContext exists in this file.
+func SampledScanPlain(ctx context.Context, seed int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return Scan(seed) // want
+}
+
+// Good: threads the caller's context into the sampled scan, so an early
+// client disconnect stops the permutation walk.
+func SampledScanThreaded(ctx context.Context, seed int64) error {
+	return ScanContext(ctx, seed)
+}
+
+func Scan(seed int64) error { return nil }
+
+// Good: the Context variant calling the plain implementation is the one
+// legal bypass.
+func ScanContext(ctx context.Context, seed int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return Scan(seed)
+}

@@ -58,3 +58,38 @@ func suppressedSpin(work func()) {
 		}
 	}()
 }
+
+// Bad: a progress forwarder that busy-polls the estimator's converged
+// flag — the sampler goroutine has no termination signal and spins after
+// the scan is torn down.
+func badProgressPoll(converged func() bool, emit func()) {
+	go func() {
+		for !converged() { // want
+			emit()
+		}
+	}()
+}
+
+// Good: the sampler's progress forwarder drains snapshots until the scan
+// closes the channel — termination is the producer's close, not a poll.
+func goodProgressDrain(snapshots chan int, emit func(int)) {
+	go func() {
+		for s := range snapshots {
+			emit(s)
+		}
+	}()
+}
+
+// Good: the sampled-scan watchdog selects on done alongside the ticks.
+func goodSamplerWatchdog(ticks chan int, done chan struct{}, observe func(int)) {
+	go func() {
+		for {
+			select {
+			case t := <-ticks:
+				observe(t)
+			case <-done:
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,11 @@
+package ola
+
+import (
+	"testing"
+
+	"scanraw/internal/testutil"
+)
+
+func TestMain(m *testing.M) {
+	testutil.Main(m)
+}

@@ -1,0 +1,29 @@
+// Package ola implements online aggregation over the SCANRAW operator
+// (OLA-RAW, arXiv 1702.00358): aggregate queries are served from a random
+// sample of chunks with converging estimates and CLT-based confidence
+// bounds, and the scan terminates early — safeguard flush preserved —
+// once the relative half-width of every bound falls at or below a
+// user-supplied tolerance.
+//
+// Chunks are the sampling units (inter-chunk sampling): a seeded random
+// permutation of the chunk IDs becomes the scan's visit order, so every
+// prefix of the scan is a uniform without-replacement sample of the file.
+// Estimators scale per-chunk aggregate contributions by N/n with the
+// finite-population correction, which drives the variance — and therefore
+// the bound — to exactly zero when the sample reaches the whole file: the
+// estimator path degrades to the exact engine merge.
+package ola
+
+import "math/rand"
+
+// Permutation returns a seeded uniform random permutation of [0, n) — the
+// chunk visit order of a sampled scan. The same (n, seed) pair always
+// yields the same permutation, which is what makes sampled runs
+// reproducible end to end.
+func Permutation(n int, seed int64) []int {
+	if n < 0 {
+		n = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Perm(n)
+}

@@ -1,0 +1,43 @@
+package ola
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPermutationIsPermutation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		perm := Permutation(n, 12345)
+		if len(perm) != n {
+			t.Fatalf("n=%d: len = %d", n, len(perm))
+		}
+		seen := make([]bool, n)
+		for _, id := range perm {
+			if id < 0 || id >= n {
+				t.Fatalf("n=%d: element %d out of range", n, id)
+			}
+			if seen[id] {
+				t.Fatalf("n=%d: element %d repeated", n, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestPermutationDeterministic(t *testing.T) {
+	a := Permutation(256, 7)
+	b := Permutation(256, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (n, seed) must yield the same permutation")
+	}
+	c := Permutation(256, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds yielded identical permutations")
+	}
+}
+
+func TestPermutationNegativeN(t *testing.T) {
+	if got := Permutation(-3, 1); len(got) != 0 {
+		t.Fatalf("negative n: len = %d, want 0", len(got))
+	}
+}

@@ -31,6 +31,10 @@ type run struct {
 	req Request
 	del *deliverer // CONSUME stage: serial pass-through or fan-out
 
+	// order, when non-nil, is the explicit chunk visit order of a sampled
+	// scan (Request.Order); the read stage walks it instead of the file.
+	order []int
+
 	upTo int // attributes to tokenize: max converted ordinal + 1
 
 	// convCols is the full-conversion column set: the requested columns
@@ -105,6 +109,7 @@ type run struct {
 
 	written          atomic.Int64 // chunks this run loaded into the database
 	groupWrites      atomic.Int64 // single-group payoff writes
+	deliveredCache   atomic.Int64 // ordered scans deliver cache hits in-order
 	deliveredDB      atomic.Int64
 	deliveredRaw     atomic.Int64
 	deliveredPartial atomic.Int64
@@ -237,7 +242,67 @@ func validateRequest(req Request, ncols int) error {
 			return fmt.Errorf("scanraw: chunk range [%d,%d) is empty", req.Range.Lo, req.Range.Hi)
 		}
 	}
+	if req.Order != nil && req.Range != nil {
+		return fmt.Errorf("scanraw: Order and Range are mutually exclusive")
+	}
 	return nil
+}
+
+// validateOrder checks that a Request.Order callback returned a genuine
+// permutation of [0, n): every chunk visited exactly once.
+func validateOrder(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("scanraw: visit order has %d entries for %d chunks", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, id := range order {
+		if id < 0 || id >= n {
+			return fmt.Errorf("scanraw: visit order entry %d out of range [0,%d)", id, n)
+		}
+		if seen[id] {
+			return fmt.Errorf("scanraw: visit order repeats chunk %d", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// discoverAll completes chunk discovery without converting anything: it
+// carves every remaining chunk boundary out of the byte stream and
+// registers the geometry in the catalog. Sampled scans need the total
+// chunk count before the first delivery, so on a cold file this costs one
+// sequential read of the undiscovered tail (the text is dropped).
+func (o *Operator) discoverAll(ctx context.Context) error {
+	if o.table.Complete() {
+		return nil
+	}
+	sc := newRawScanner(o, o.table.RawFile())
+	id := 0
+	var off int64
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if meta, known := o.table.Chunk(id); known {
+			off = meta.RawOff + meta.RawLen
+			id++
+			continue
+		}
+		sc.seek(off)
+		data, lines, err := sc.next(o.cfg.ChunkLines)
+		if err != nil {
+			return err
+		}
+		if lines == 0 {
+			break
+		}
+		if err := o.table.EnsureChunk(id, lines, off, int64(len(data))); err != nil {
+			return err
+		}
+		off += int64(len(data))
+		id++
+	}
+	return o.table.SetComplete()
 }
 
 // Run executes one query over the raw file: it delivers every chunk of the
@@ -281,8 +346,16 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 	// its consume finishes: the pipeline that follows may evict and recycle
 	// cache entries, and a fan-out consume may still be reading this chunk
 	// when it starts.
+	//
+	// Ordered (sampled) scans skip this phase entirely: delivering cached
+	// chunks first would bias the sample toward whatever happens to be hot,
+	// so cache hits are served when the visit order reaches them instead.
 	delivered := make(map[int]bool)
-	for _, id := range o.cache.IDs() {
+	phase1 := o.cache.IDs()
+	if req.Order != nil {
+		phase1 = nil
+	}
+	for _, id := range phase1 {
 		if sat() {
 			break
 		}
@@ -332,6 +405,24 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 	// Disk reads must wait for the previous safeguard flush (§4).
 	o.flushWG.Wait()
 
+	// Ordered scans fix the visit order up front: discovery must be
+	// complete (the permutation is over the whole chunk universe) before
+	// the callback can be consulted.
+	var order []int
+	if req.Order != nil {
+		if derr := o.discoverAll(ctx); derr != nil {
+			_ = del.close()
+			st.Duration = time.Since(start)
+			return st, derr
+		}
+		order = req.Order(o.table.NumChunks())
+		if oerr := validateOrder(order, o.table.NumChunks()); oerr != nil {
+			_ = del.close()
+			st.Duration = time.Since(start)
+			return st, oerr
+		}
+	}
+
 	workers := o.workers
 	var err error
 	var r *run
@@ -339,9 +430,9 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 	case sat():
 		// Satisfied from the cache alone: no disk scan needed.
 	case workers == 0:
-		r, err = o.runSequential(ctx, req, del, delivered, gate)
+		r, err = o.runSequential(ctx, req, del, delivered, order, gate)
 	default:
-		r, err = o.runParallel(ctx, req, del, delivered, workers, gate)
+		r, err = o.runParallel(ctx, req, del, delivered, order, workers, gate)
 	}
 	// All deliver calls have returned: drain the consume workers and
 	// surface any consume error that had not reached the run yet.
@@ -349,6 +440,7 @@ func (o *Operator) RunContext(ctx context.Context, req Request) (RunStats, error
 		err = cerr
 	}
 	if r != nil {
+		st.DeliveredCache += int(r.deliveredCache.Load())
 		st.DeliveredDB = int(r.deliveredDB.Load())
 		st.DeliveredRaw = int(r.deliveredRaw.Load())
 		st.DeliveredPartial = int(r.deliveredPartial.Load())
@@ -462,13 +554,15 @@ func (o *Operator) takeFlushErr() error {
 }
 
 // runParallel executes the super-scalar pipeline with the given worker
-// pool size.
-func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer, delivered map[int]bool, workers int, gate *cacheGate) (*run, error) {
+// pool size. A non-nil order replaces the file-order read loop with the
+// explicit visit order of a sampled scan.
+func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer, delivered map[int]bool, order []int, workers int, gate *cacheGate) (*run, error) {
 	convCols := o.store.GroupClosure(o.table, req.Columns)
 	r := &run{
 		op:           o,
 		req:          req,
 		del:          del,
+		order:        order,
 		convCols:     convCols,
 		upTo:         convCols[len(convCols)-1] + 1,
 		kern:         o.fusedKernel(convCols),
@@ -537,7 +631,11 @@ func (o *Operator) runParallel(ctx context.Context, req Request, del *deliverer,
 	go r.tokenizeConsumer()
 	go r.parseConsumer()
 	go func() {
-		r.fail(r.readLoop(delivered))
+		if r.order != nil {
+			r.fail(r.readLoopOrdered())
+		} else {
+			r.fail(r.readLoop(delivered))
+		}
 		r.readDone.Store(true)
 		close(r.textBuf)
 		close(r.readFinished)
@@ -707,6 +805,113 @@ func (r *run) readLoop(delivered map[int]bool) error {
 		id++
 	}
 	return o.table.SetComplete()
+}
+
+// readLoopOrdered is the READ thread of a sampled scan: discovery is
+// already complete, so it visits chunks in the request's explicit order —
+// cache hits flow straight into the delivery channel (pinned, so the
+// consume stage sees them alive), loaded chunks come from the database,
+// and the rest are read from their raw extents and converted through the
+// normal pipeline stages. Conversion finishes out of order; consumers that
+// need the sample order (the online-aggregation estimator) reorder on
+// chunk ID against the permutation they supplied.
+func (r *run) readLoopOrdered() error {
+	o := r.op
+	sc := newRawScanner(o, o.table.RawFile())
+	for _, id := range r.order {
+		if r.failed() {
+			return nil
+		}
+		if r.demandSatisfied() {
+			// The error bound (or other demand) is provably met: stop
+			// issuing chunks. The file stays Complete — discovery ran first.
+			return nil
+		}
+		meta, known := o.table.Chunk(id)
+		if !known {
+			return fmt.Errorf("scanraw: ordered scan: chunk %d vanished from the catalog", id)
+		}
+		if r.req.Skip != nil && r.req.Skip(meta) {
+			r.skipped.Add(1)
+			continue
+		}
+		if bc := o.cache.Acquire(id); bc != nil {
+			if bc.HasAll(r.req.Columns) {
+				// Cache hit at its sampled position. The delivery loop's
+				// after-hook releases the pin and the binary-buffer slot,
+				// mirroring the converted-chunk path.
+				select {
+				case <-r.freeBin:
+				case <-r.done:
+					_ = o.cache.Unpin(id)
+					return nil
+				case <-r.satCh:
+					_ = o.cache.Unpin(id)
+					return nil
+				}
+				select {
+				case r.deliverCh <- bc:
+					r.deliveredCache.Add(1)
+				case <-r.done:
+					_ = o.cache.Unpin(id)
+					r.freeBin <- struct{}{}
+					return nil
+				}
+				continue
+			}
+			if err := o.cache.Unpin(id); err != nil {
+				return err
+			}
+		}
+		if meta.LoadedAll(r.req.Columns) {
+			select {
+			case <-r.freeBin:
+			case <-r.done:
+				return nil
+			case <-r.satCh:
+				return nil
+			}
+			bc, err := o.dbRead(id, r.req.Columns)
+			if err != nil {
+				r.freeBin <- struct{}{}
+				return err
+			}
+			evicted, evLoaded, ok := r.putPinnedWaitEv(bc, true)
+			if !ok {
+				r.freeBin <- struct{}{}
+				return nil
+			}
+			if err := r.retireEvicted(evicted, evLoaded); err != nil {
+				_ = o.cache.Unpin(bc.ID)
+				r.freeBin <- struct{}{}
+				return err
+			}
+			select {
+			case r.deliverCh <- bc:
+				r.deliveredDB.Add(1)
+			case <-r.done:
+				_ = o.cache.Unpin(bc.ID)
+				r.freeBin <- struct{}{}
+				return nil
+			}
+			continue
+		}
+		// Raw (or partial-width) chunk: read exactly its extent — RawOff
+		// makes random access as cheap as the sequential walk's bookkeeping.
+		if plan := r.planFor(meta); len(plan.fromDB) > 0 {
+			r.setPlan(id, plan)
+		}
+		data, err := sc.readExtent(meta.RawOff, meta.RawLen)
+		if err != nil {
+			return err
+		}
+		o.prof.readChunks.Add(1)
+		tc := &chunk.TextChunk{ID: id, Data: data, Lines: meta.Rows}
+		if !r.sendText(tc) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // sendText places a text chunk into the text chunks buffer, recording the

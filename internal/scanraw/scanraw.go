@@ -600,6 +600,19 @@ type Request struct {
 	// (the byte stream must be carved to find the next boundary) but their
 	// text is dropped before conversion.
 	Range *ChunkRange
+	// Order, when non-nil, replaces the file-order walk with an explicit
+	// visit order: once chunk discovery is complete the callback receives
+	// the total chunk count and must return a permutation of [0, n) — the
+	// online-aggregation sampler returns a seeded random permutation so
+	// every scan prefix is a uniform chunk sample. Ordered scans skip the
+	// cached-first delivery phase (delivery order IS the contract), read
+	// loaded chunks from the database and the rest from their raw extents,
+	// and still honour Skip, Satisfied, and the safeguard flush. On a table
+	// whose discovery is incomplete the operator first carves the remaining
+	// chunk boundaries in one sequential pass (the unavoidable cost of
+	// uniform sampling over an undiscovered byte stream). Order and Range
+	// are mutually exclusive.
+	Order func(numChunks int) []int
 }
 
 // BinaryChunk is re-exported so operator users do not need to import the

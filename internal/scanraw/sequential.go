@@ -2,6 +2,7 @@ package scanraw
 
 import (
 	"context"
+	"fmt"
 
 	"scanraw/internal/chunk"
 )
@@ -12,12 +13,13 @@ import (
 // overlap is possible. It still honours the write policy; under
 // Speculative the write of the oldest unloaded chunk happens after each
 // conversion, when the disk would otherwise idle until the next read.
-func (o *Operator) runSequential(ctx context.Context, req Request, del *deliverer, delivered map[int]bool, gate *cacheGate) (*run, error) {
+func (o *Operator) runSequential(ctx context.Context, req Request, del *deliverer, delivered map[int]bool, order []int, gate *cacheGate) (*run, error) {
 	convCols := o.store.GroupClosure(o.table, req.Columns)
 	r := &run{
 		op:       o,
 		req:      req,
 		del:      del,
+		order:    order,
 		convCols: convCols,
 		upTo:     convCols[len(convCols)-1] + 1,
 		kern:     o.fusedKernel(convCols),
@@ -26,6 +28,10 @@ func (o *Operator) runSequential(ctx context.Context, req Request, del *delivere
 		gate:     gate,
 	}
 	r.invisibleLeft.Store(int64(o.cfg.InvisibleChunksPerQuery))
+
+	if order != nil {
+		return r, r.sequentialOrdered(ctx)
+	}
 
 	sc := newRawScanner(o, o.table.RawFile())
 	id := 0
@@ -102,6 +108,76 @@ func (o *Operator) runSequential(ctx context.Context, req Request, del *delivere
 		id++
 	}
 	return r, o.table.SetComplete()
+}
+
+// sequentialOrdered is the zero-worker variant of a sampled scan: chunks
+// are visited strictly in the request's explicit order, one at a time on
+// the calling goroutine. Discovery already ran, so every chunk resolves
+// from the catalog; cache hits are delivered in place (the sample order is
+// the delivery order), loaded chunks come from the database, and the rest
+// are read from their raw extents and converted inline.
+func (r *run) sequentialOrdered(ctx context.Context) error {
+	o := r.op
+	sc := newRawScanner(o, o.table.RawFile())
+	for _, id := range r.order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if r.demandSatisfied() {
+			return nil
+		}
+		meta, known := o.table.Chunk(id)
+		if !known {
+			return fmt.Errorf("scanraw: ordered scan: chunk %d vanished from the catalog", id)
+		}
+		if r.req.Skip != nil && r.req.Skip(meta) {
+			r.skipped.Add(1)
+			continue
+		}
+		if bc := o.cache.Acquire(id); bc != nil {
+			if bc.HasAll(r.req.Columns) {
+				r.del.deliver(bc, func() {
+					if err := o.cache.Unpin(id); err != nil {
+						r.del.setErr(err)
+					}
+					r.gate.broadcast()
+				})
+				if err := r.del.failedErr(); err != nil {
+					return err
+				}
+				r.deliveredCache.Add(1)
+				r.demandSatisfied()
+				continue
+			}
+			if err := o.cache.Unpin(id); err != nil {
+				return err
+			}
+		}
+		if meta.LoadedAll(r.req.Columns) {
+			bc, err := o.dbRead(id, r.req.Columns)
+			if err != nil {
+				return err
+			}
+			if err := r.insertAndDeliver(bc, true); err != nil {
+				return err
+			}
+			r.deliveredDB.Add(1)
+			continue
+		}
+		if plan := r.planFor(meta); len(plan.fromDB) > 0 {
+			r.setPlan(id, plan)
+		}
+		data, err := sc.readExtent(meta.RawOff, meta.RawLen)
+		if err != nil {
+			return err
+		}
+		o.prof.readChunks.Add(1)
+		tc := &chunk.TextChunk{ID: id, Data: data, Lines: meta.Rows}
+		if err := r.convertAndDeliver(tc); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // insertAndDeliver places a converted (or database-read) chunk into the

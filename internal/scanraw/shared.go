@@ -38,6 +38,13 @@ func (o *Operator) RunSharedContext(ctx context.Context, reqs []Request) (RunSta
 		if err := validateRequest(req, ncols); err != nil {
 			return RunStats{}, nil, fmt.Errorf("request %d: %w", i, err)
 		}
+		if req.Order != nil && len(reqs) > 1 {
+			// A sampled scan's visit order is its statistical contract;
+			// sharing it with members that expect file order (or another
+			// sample) would corrupt both. The server dispatches sampled
+			// queries solo, so this is a programming-error guard.
+			return RunStats{}, nil, fmt.Errorf("request %d: sampled (ordered) scans cannot share a scan", i)
+		}
 	}
 	union := unionColumns(reqs)
 
@@ -117,6 +124,11 @@ func (o *Operator) RunSharedContext(ctx context.Context, reqs []Request) (RunSta
 	// running to end-of-file (its combined Satisfied stays nil).
 	if s := combinedSatisfied(reqs); s != nil {
 		combined.Satisfied = s
+	}
+	if len(reqs) == 1 {
+		// A solo member's visit order passes straight through (multi-member
+		// batches with an order were rejected above).
+		combined.Order = reqs[0].Order
 	}
 	st, err := o.RunContext(ctx, combined)
 	per := make([]SharedStats, len(reqs))

@@ -8,6 +8,7 @@ import (
 
 	"scanraw/internal/dbstore"
 	"scanraw/internal/engine"
+	"scanraw/internal/ola"
 	"scanraw/internal/scanraw"
 )
 
@@ -33,6 +34,12 @@ type pending struct {
 	// decisions feed its reorder frontier and its satisfaction signal feeds
 	// demand-driven termination.
 	stream rowStreamer
+	// olaRunner, when non-nil, marks an online-aggregation query: the scan
+	// visits chunks in the runner's seeded sample order, carries no skip
+	// filter, and terminates once the runner's bounds converge. OLA queries
+	// always dispatch solo — a sampled visit order cannot be shared.
+	olaRunner *ola.Runner
+	olaSeed   int64
 
 	// cancelled flips once the query's context dies mid-scan; the delivery
 	// path stops feeding its executor from then on.
@@ -93,6 +100,13 @@ type batcher struct {
 // batch already been draining, resurrecting chunk deliveries its members
 // no longer want). Such a newcomer dispatches alone instead of coalescing.
 func (b *batcher) submit(p *pending) {
+	if p.olaRunner != nil {
+		// A sampled scan's visit order is its statistical contract; the
+		// shared-scan path rejects multi-member ordered batches, so OLA
+		// queries never join (or open) a coalescing window.
+		go b.execute([]*pending{p})
+		return
+	}
 	b.mu.Lock()
 	if len(b.queue) > 0 && !scanraw.HasTerminationProfile(p.q) && allTerminating(b.queue) {
 		b.mu.Unlock()
@@ -184,6 +198,11 @@ func (b *batcher) execute(batch []*pending) {
 			cols = []int{0}
 		}
 		skip := scanraw.SkipFromPredicate(p.q.Where)
+		if p.olaRunner != nil {
+			// Statistics-based elimination would punch holes in the sample
+			// order; the estimator needs every chunk it draws.
+			skip = nil
+		}
 		if p.stream != nil {
 			// Streaming members watch their skip decisions so the reorder
 			// frontier can advance past eliminated chunks.
@@ -219,11 +238,19 @@ func (b *batcher) execute(batch []*pending) {
 			if p.stream != nil && p.stream.satisfied() {
 				return true
 			}
+			if p.olaRunner != nil && p.olaRunner.Satisfied() {
+				return true
+			}
 			return dem.IsSatisfied()
+		}
+		var order func(int) []int
+		if p.olaRunner != nil {
+			order = p.olaRunner.Order(p.olaSeed)
 		}
 		reqs[i] = scanraw.Request{
 			Columns:         cols,
 			Skip:            dem.WrapSkip(skip),
+			Order:           order,
 			ParallelConsume: p.consumeWorkers,
 			Satisfied:       memberDone,
 			// Deliver feeds this member's executor but never fails the

@@ -24,6 +24,10 @@ type counters struct {
 	terminatedEarly atomic.Int64 // scans stopped before end-of-file by demand
 	chunksSaved     atomic.Int64 // chunks those scans never read or converted
 
+	olaQueries           atomic.Int64 // online-aggregation (sampled) queries admitted
+	olaChunksSampled     atomic.Int64 // chunks fed to OLA estimators, all queries
+	olaEarlyTerminations atomic.Int64 // OLA scans stopped by bound convergence
+
 	deliveredCache   atomic.Int64
 	deliveredDB      atomic.Int64
 	deliveredRaw     atomic.Int64
@@ -94,6 +98,13 @@ type MetricsSnapshot struct {
 	ScansTerminatedEarly     int64 `json:"scans_terminated_early"`
 	ChunksSavedByTermination int64 `json:"chunks_saved_by_termination"`
 
+	// Online aggregation: sampled-scan queries, the chunks their
+	// estimators observed, and the scans stopped early because the
+	// confidence bounds met the requested error tolerance.
+	OLAQueries           int64 `json:"ola_queries_total"`
+	OLAChunksSampled     int64 `json:"ola_chunks_sampled"`
+	OLAEarlyTerminations int64 `json:"ola_early_terminations"`
+
 	// WorkerBusyPercent is in percent-of-one-core units (8 busy workers
 	// report 800), matching the paper's Fig. 9 CPU axis; the disk percents
 	// are fractions of wall-clock the device was servicing transfers.
@@ -159,6 +170,10 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 
 		ScansTerminatedEarly:     s.met.terminatedEarly.Load(),
 		ChunksSavedByTermination: s.met.chunksSaved.Load(),
+
+		OLAQueries:           s.met.olaQueries.Load(),
+		OLAChunksSampled:     s.met.olaChunksSampled.Load(),
+		OLAEarlyTerminations: s.met.olaEarlyTerminations.Load(),
 
 		WorkerBusyPercent: sample.CPUPercent,
 		DiskBusyPercent:   sample.IOPercent,

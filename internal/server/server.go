@@ -29,8 +29,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +41,7 @@ import (
 	"scanraw/internal/dbstore"
 	"scanraw/internal/engine"
 	"scanraw/internal/metrics"
+	"scanraw/internal/ola"
 	"scanraw/internal/scanraw"
 	"scanraw/internal/schema"
 	"scanraw/internal/workload"
@@ -60,6 +63,14 @@ type Config struct {
 	// DefaultTimeout bounds queries that do not carry their own timeout.
 	// Zero means no server-imposed limit.
 	DefaultTimeout time.Duration
+	// OLAError, when positive, makes online aggregation the default for
+	// eligible aggregate queries: they run as sampled scans that stop once
+	// the relative confidence bound reaches this tolerance. Individual
+	// queries override it with ?error= (0 forces an exact sampled scan).
+	OLAError float64
+	// OLAConfidence is the confidence level of OLA bounds when a query
+	// does not pass ?confidence=. Zero means 0.95.
+	OLAConfidence float64
 }
 
 func (c Config) withDefaults() Config {
@@ -301,6 +312,24 @@ type queryStats struct {
 	// how many chunks that saved reading or converting.
 	TerminatedEarly bool `json:"terminated_early"`
 	ChunksSaved     int  `json:"chunks_saved"`
+	// OLA, present only for sampled (online-aggregation) queries, reports
+	// the sampling outcome.
+	OLA *olaStats `json:"ola,omitempty"`
+}
+
+// olaStats is the sampling report of an online-aggregation query.
+type olaStats struct {
+	ChunksSampled int `json:"chunks_sampled"`
+	ChunksTotal   int `json:"chunks_total"`
+	// MaxRelError is the worst relative half-width across the result's
+	// bounds; -1 when no bound was ever formed (e.g. cancelled before
+	// MinChunks). Exact results report 0.
+	MaxRelError float64 `json:"max_rel_error"`
+	Converged   bool    `json:"converged"`
+	Exact       bool    `json:"exact"`
+	Tolerance   float64 `json:"tolerance"`
+	Confidence  float64 `json:"confidence"`
+	Seed        int64   `json:"seed"`
 }
 
 // queryResponse is the non-streaming POST /query reply.
@@ -337,6 +366,66 @@ func fromTable(sql string) (string, error) {
 	return "", fmt.Errorf("query has no FROM clause")
 }
 
+// olaRequest is the resolved online-aggregation decision for one query:
+// whether the sampled path runs, with what tolerance, confidence, and
+// permutation seed.
+type olaRequest struct {
+	active bool
+	cfg    ola.Config
+	seed   int64
+}
+
+// olaParams resolves the OLA query parameters against the server defaults.
+// ?error= activates online aggregation for this query (0 keeps the sampled
+// scan but forbids early termination — the answer is exact); a positive
+// Config.OLAError activates it by default for every eligible aggregate.
+// An explicitly requested ?error= on an ineligible query is the client's
+// mistake and errors out; a server default on an ineligible query silently
+// takes the plain path.
+func (s *Server) olaParams(r *http.Request, q *engine.Query) (olaRequest, error) {
+	qs := r.URL.Query()
+	out := olaRequest{seed: 1}
+	tol := s.cfg.OLAError
+	explicit := false
+	if es := qs.Get("error"); es != "" {
+		v, err := strconv.ParseFloat(es, 64)
+		if err != nil || math.IsNaN(v) || v < 0 {
+			return out, fmt.Errorf("bad error parameter %q: want a fraction >= 0", es)
+		}
+		tol, explicit = v, true
+	}
+	if !explicit && s.cfg.OLAError <= 0 {
+		return out, nil
+	}
+	conf := s.cfg.OLAConfidence
+	if cs := qs.Get("confidence"); cs != "" {
+		v, err := strconv.ParseFloat(cs, 64)
+		if err != nil || !(v > 0 && v < 1) {
+			return out, fmt.Errorf("bad confidence parameter %q: want 0 < c < 1", cs)
+		}
+		conf = v
+	}
+	if conf == 0 {
+		conf = ola.DefaultConfidence
+	}
+	if ss := qs.Get("seed"); ss != "" {
+		v, err := strconv.ParseInt(ss, 10, 64)
+		if err != nil {
+			return out, fmt.Errorf("bad seed parameter %q", ss)
+		}
+		out.seed = v
+	}
+	if err := ola.Eligible(q); err != nil {
+		if explicit {
+			return out, fmt.Errorf("online aggregation: %v", err)
+		}
+		return olaRequest{}, nil
+	}
+	out.active = true
+	out.cfg = ola.Config{Confidence: conf, Tolerance: tol}
+	return out, nil
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var qr queryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -365,22 +454,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	olaReq, err := s.olaParams(r, q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	// Executor selection. The operator's ConsumeWorkers setting decides the
-	// consume parallelism; non-aggregate queries asked for as NDJSON get a
-	// streamer — incremental chunk-order emission when there is no ORDER BY,
-	// merge-on-emit (sorted runs through a loser tree) when there is —
-	// everything else materializes through the serial or parallel engine
-	// executor.
+	// consume parallelism; online-aggregation queries get a sampled-scan
+	// runner (streamed as converging estimates under NDJSON); non-aggregate
+	// queries asked for as NDJSON get a streamer — incremental chunk-order
+	// emission when there is no ORDER BY, merge-on-emit (sorted runs through
+	// a loser tree) when there is — everything else materializes through the
+	// serial or parallel engine executor.
 	workers := entry.cfg.ConsumeWorkers
 	if workers < 1 {
 		workers = 1
 	}
 	wantStream := r.URL.Query().Get("stream") == "ndjson"
 	var (
-		ex       executor
-		streamer rowStreamer
+		ex        executor
+		streamer  rowStreamer
+		olaRunner *ola.Runner
 	)
 	switch {
+	case olaReq.active && wantStream:
+		var os *olaStreamer
+		os, err = newOLAStreamer(q, entry.table.Schema(), olaReq.cfg)
+		if err == nil {
+			streamer, ex, olaRunner = os, os, os.runner
+		}
+	case olaReq.active:
+		olaRunner, err = ola.NewRunner(q, entry.table.Schema(), olaReq.cfg, nil)
+		ex = olaRunner
 	case wantStream && !q.IsAggregate() && len(q.OrderBy) == 0:
 		streamer, err = newNDJSONStreamer(q, entry.table.Schema(), workers)
 		ex = streamer
@@ -409,6 +514,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.slots }()
 	s.met.queries.Add(1)
+	if olaReq.active {
+		s.met.olaQueries.Add(1)
+	}
 	s.met.policyCount(entry.cfg.Policy)
 	s.recordAccess(entry, q.RequiredColumns())
 
@@ -429,7 +537,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// start pushing rows. From here on errors are in-band NDJSON lines.
 		streamer.start(w)
 	}
-	p := &pending{ctx: ctx, q: q, ex: ex, stream: streamer, consumeWorkers: workers, result: make(chan pendingResult, 1)}
+	p := &pending{
+		ctx: ctx, q: q, ex: ex, stream: streamer, consumeWorkers: workers,
+		olaRunner: olaRunner, olaSeed: olaReq.seed,
+		result: make(chan pendingResult, 1),
+	}
 	s.batcherFor(entry).submit(p)
 
 	var pr pendingResult
@@ -478,6 +590,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Policy:            entry.cfg.Policy.String(),
 		TerminatedEarly:   pr.scan.TerminatedEarly,
 		ChunksSaved:       pr.scan.ChunksSaved,
+	}
+	if olaRunner != nil {
+		last := olaRunner.LastSnapshot()
+		exact := olaRunner.Exact()
+		maxRel := last.MaxRel
+		switch {
+		case exact:
+			maxRel = 0
+		case math.IsNaN(maxRel) || math.IsInf(maxRel, 0):
+			maxRel = -1 // no bound formed yet
+		}
+		st.OLA = &olaStats{
+			ChunksSampled: last.Chunks,
+			ChunksTotal:   last.Total,
+			MaxRelError:   maxRel,
+			Converged:     olaRunner.Satisfied(),
+			Exact:         exact,
+			Tolerance:     olaReq.cfg.Tolerance,
+			Confidence:    olaReq.cfg.Confidence,
+			Seed:          olaReq.seed,
+		}
+		s.met.olaChunksSampled.Add(int64(last.Chunks))
+		if pr.scan.TerminatedEarly {
+			s.met.olaEarlyTerminations.Add(1)
+		}
 	}
 	if streamer != nil {
 		// Rows already streamed chunk-by-chunk; close with the stats trailer.

@@ -12,7 +12,9 @@
 # column-group storage payoff (partial_width_hit_speedup: a
 # 2-of-32-column query over a warm table on a throttled disk,
 # full-width pages over per-column pages — how much narrow queries gain
-# from reading only the columns they need).
+# from reading only the columns they need), and the online-aggregation
+# payoff (ola_time_to_bound_speedup: a full-scan SUM over the sampled
+# scan that stops at a 5% bound with 95% confidence).
 #
 # Each benchmark runs -count times and the best run is recorded: the
 # minimum is the least contaminated by scheduler noise on a shared
@@ -32,7 +34,7 @@ case "${GOFLAGS:-}" in
     exit 1
     ;;
 esac
-OUT=${BENCH_OUT:-BENCH_pr8.json}
+OUT=${BENCH_OUT:-BENCH_pr10.json}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
@@ -42,6 +44,8 @@ $GO test -run xxx -bench 'BenchmarkConsume|BenchmarkLimit|BenchmarkNarrowQuery' 
     ./internal/scanraw/ | tee -a "$TMP"
 $GO test -run xxx -bench 'BenchmarkSingleNodeQuery|BenchmarkDistributedQuery' -benchtime 10x -count "$COUNT" \
     ./internal/cluster/ | tee -a "$TMP"
+$GO test -run xxx -bench 'BenchmarkOLAFullScan|BenchmarkOLATimeToBound' -benchtime 10x -count "$COUNT" \
+    ./internal/ola/ | tee -a "$TMP"
 
 awk '
 /^Benchmark/ {
@@ -77,6 +81,8 @@ END {
         if (name ~ /^BenchmarkTokParseChunk64/) tokparse = best[name]
         if (name ~ /^BenchmarkNarrowQueryColGroup/) narrowcg = best[name]
         if (name ~ /^BenchmarkNarrowQueryFullWidth/) narrowfw = best[name]
+        if (name ~ /^BenchmarkOLAFullScan/) olafull = best[name]
+        if (name ~ /^BenchmarkOLATimeToBound/) olabound = best[name]
     }
     print "  ],"
     if (serial > 0 && par > 0)
@@ -89,6 +95,8 @@ END {
         printf "  \"convert_kernel_speedup\": %.2f,\n", tokparse / fused
     if (narrowcg > 0 && narrowfw > 0)
         printf "  \"partial_width_hit_speedup\": %.2f,\n", narrowfw / narrowcg
+    if (olafull > 0 && olabound > 0)
+        printf "  \"ola_time_to_bound_speedup\": %.2f,\n", olafull / olabound
     printf "  \"date\": \"%s\"\n", strftime("%Y-%m-%d")
     print "}"
 }' "$TMP" > "$OUT"

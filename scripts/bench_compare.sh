@@ -4,16 +4,20 @@
 # than 20% in ns/op. Benchmarks present in only one file are skipped —
 # each PR may add new ones. Additionally enforces absolute floors on the
 # newest file's headline ratios: fused conversion must stay at least
-# KERNEL_FLOOR times faster than the two-stage path, and a narrow query
+# KERNEL_FLOOR times faster than the two-stage path, a narrow query
 # over a warm column-group table must beat the full-width layout by at
-# least PARTIAL_FLOOR (each skipped when the file predates its metric).
+# least PARTIAL_FLOOR, and online aggregation must reach its bound at
+# least OLA_FLOOR times faster than the exact full scan (each skipped
+# when the file predates its metric).
 set -e
 THRESHOLD=${THRESHOLD:-1.20}
 KERNEL_FLOOR=${KERNEL_FLOOR:-1.5}
 PARTIAL_FLOOR=${PARTIAL_FLOOR:-1.5}
+OLA_FLOOR=${OLA_FLOOR:-1.5}
 HOT='BenchmarkConsumeSerial|BenchmarkConsumeParallel8|BenchmarkLimitFullScan|BenchmarkLimitEarlyTerm|BenchmarkTokenizeChunk64|BenchmarkParseChunk64|BenchmarkFusedChunk64|BenchmarkScalarSum|BenchmarkGroupBy'
 
-files=$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2)
+# sort -V: BENCH_pr10 comes after BENCH_pr9, not between pr1 and pr2.
+files=$(ls -1 BENCH_*.json 2>/dev/null | sort -V | tail -2)
 if [ "$(echo "$files" | grep -c .)" -lt 2 ]; then
     echo "bench_compare: fewer than two BENCH_*.json files; nothing to compare"
     exit 0
@@ -76,3 +80,4 @@ check_floor() { # metric floor
 }
 check_floor convert_kernel_speedup "$KERNEL_FLOOR"
 check_floor partial_width_hit_speedup "$PARTIAL_FLOOR"
+check_floor ola_time_to_bound_speedup "$OLA_FLOOR"
